@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every figure of the paper at ``QUICK_SCALE`` by
+default (same 9-site Grid'5000 latency structure, fewer processes and
+critical sections).  Set ``REPRO_FULL=1`` to run at the paper's scale
+(9×20 processes, 100 CS each, 10 seeds) — expect tens of minutes.
+
+Each figure test times its sweep once via ``benchmark.pedantic`` (so
+``pytest benchmarks/ --benchmark-only`` both regenerates and times them),
+prints the same rows the paper plots, and asserts the qualitative shape
+documented in DESIGN.md §5.
+"""
+
+import pytest
+
+from repro.experiments import scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env()
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

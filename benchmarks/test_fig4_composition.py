@@ -1,0 +1,78 @@
+"""Figure 4: composition evaluation — obtaining time (a) and
+inter-cluster sent messages (b) versus ρ, for Naimi-Naimi, Naimi-Martin,
+Naimi-Suzuki and the original (flat) Naimi-Tréhel.
+
+Shape assertions follow §4.2-§4.4 (see DESIGN.md §5):
+
+4(a) — obtaining time decreases with ρ; compositions are ≈ equal in the
+low band; Naimi-Martin is the worst composition at high ρ, Naimi-Suzuki
+the best; the composition beats the flat baseline.
+
+4(b) — flat Naimi is ~constant in ρ; composition counts *increase* with
+ρ; Naimi-Naimi < Naimi-Suzuki everywhere; Naimi-Martin is cheapest in
+the low band and overtakes Naimi-Naimi in the high band; all
+compositions send fewer inter-cluster messages than the flat baseline at
+low ρ.
+"""
+
+from conftest import run_once
+from repro.experiments import fig4a, fig4b
+
+
+def _lo(data):
+    return data.xs.index(min(data.xs))
+
+
+def _hi(data):
+    return data.xs.index(max(data.xs))
+
+
+def test_fig4a_obtaining_time(benchmark, scale):
+    data = run_once(benchmark, fig4a, scale)
+    print("\n" + data.to_table())
+    s = data.series
+    lo, hi = _lo(data), _hi(data)
+
+    # Obtaining time decreases as parallelism grows (fewer waiters).
+    for label, ys in s.items():
+        assert ys[lo] > ys[hi], f"{label} not decreasing in rho"
+
+    # Low parallelism: "no significant difference" between compositions.
+    comps = ["naimi-naimi", "naimi-martin", "naimi-suzuki"]
+    low_values = [s[c][lo] for c in comps]
+    assert max(low_values) / min(low_values) < 1.35
+
+    # High parallelism: Suzuki inter lowest, Martin inter highest (§4.3).
+    assert s["naimi-suzuki"][hi] < s["naimi-naimi"][hi] * 1.05
+    assert s["naimi-martin"][hi] > s["naimi-naimi"][hi] * 1.5
+    assert s["naimi-martin"][hi] > s["naimi-suzuki"][hi] * 1.5
+
+    # The clustering of requests beats the original algorithm (§4.2).
+    assert s["naimi-naimi"][lo] < s["naimi (flat)"][lo]
+
+
+def test_fig4b_inter_cluster_messages(benchmark, scale):
+    data = run_once(benchmark, fig4b, scale)
+    print("\n" + data.to_table())
+    s = data.series
+    lo, hi = _lo(data), _hi(data)
+
+    # Original Naimi: constant behaviour, independent of rho (§4.2).
+    flat = s["naimi (flat)"]
+    assert max(flat) / min(flat) < 1.5
+
+    # Compositions: message count increases with rho (§4.4).
+    for label in ("naimi-naimi", "naimi-martin", "naimi-suzuki"):
+        assert s[label][hi] > s[label][lo], f"{label} not increasing"
+
+    # All compositions cheaper than the original at low rho (§4.2).
+    for label in ("naimi-naimi", "naimi-martin", "naimi-suzuki"):
+        assert s[label][lo] < flat[lo], f"{label} >= flat at low rho"
+
+    # Naimi inter cheaper than Suzuki inter everywhere (§4.4).
+    for i in range(len(data.xs)):
+        assert s["naimi-naimi"][i] < s["naimi-suzuki"][i]
+
+    # Martin inter: cheapest at low rho, overtakes Naimi at high rho.
+    assert s["naimi-martin"][lo] <= s["naimi-naimi"][lo] * 1.1
+    assert s["naimi-martin"][hi] > s["naimi-naimi"][hi]

@@ -1,0 +1,73 @@
+"""The full 3×3 composition matrix.
+
+Figures 4-6 fix one level at a time; §4.6 states that "experiments with
+the other two algorithms have presented the same behavior".  This bench
+runs **all nine** pairings of {Naimi, Martin, Suzuki} at a low and a
+high parallelism point and checks that the paper's per-level findings
+hold regardless of what runs at the other level:
+
+* the *inter* choice dominates the metrics (fixing intra and varying
+  inter moves them far more than the reverse);
+* for every intra choice, Martin inter is cheapest on messages at low ρ
+  and slowest at high ρ; Suzuki inter is fastest at high ρ.
+"""
+
+import itertools
+
+from conftest import run_once
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics import format_table
+
+ALGOS = ("naimi", "martin", "suzuki")
+BASE = ExperimentConfig(n_clusters=9, apps_per_cluster=2, n_cs=8)
+N = BASE.n_apps
+
+
+def _matrix(rho_over_n: float):
+    out = {}
+    for intra, inter in itertools.product(ALGOS, ALGOS):
+        r = run_experiment(
+            BASE.with_(intra=intra, inter=inter, rho=rho_over_n * N)
+        )
+        out[(intra, inter)] = r
+    return out
+
+
+def test_full_matrix_low_and_high_parallelism(benchmark):
+    low, high = run_once(benchmark, lambda: (_matrix(0.5), _matrix(6.0)))
+
+    for tag, matrix in (("rho/N=0.5", low), ("rho/N=6.0", high)):
+        rows = [
+            (f"{intra}-{inter}",
+             matrix[(intra, inter)].obtaining.mean,
+             matrix[(intra, inter)].inter_messages_per_cs)
+            for intra, inter in itertools.product(ALGOS, ALGOS)
+        ]
+        print(f"\n{tag}:")
+        print(format_table(["composition", "obtain (ms)", "inter msg/CS"],
+                           rows))
+
+    # §4.6 "same behavior" for every intra choice:
+    for intra in ALGOS:
+        # low parallelism: Martin inter cheapest on inter-cluster msgs.
+        msgs = {i: low[(intra, i)].inter_messages_per_cs for i in ALGOS}
+        assert msgs["martin"] == min(msgs.values()), (intra, msgs)
+        # high parallelism: Suzuki inter fastest, Martin inter slowest.
+        times = {i: high[(intra, i)].obtaining.mean for i in ALGOS}
+        assert times["suzuki"] == min(times.values()), (intra, times)
+        assert times["martin"] == max(times.values()), (intra, times)
+
+    # The inter level dominates: for a fixed intra, swapping the inter
+    # algorithm moves the high-rho obtaining time far more than swapping
+    # the intra for a fixed inter.
+    inter_effect = max(
+        max(high[(intra, i)].obtaining.mean for i in ALGOS)
+        / min(high[(intra, i)].obtaining.mean for i in ALGOS)
+        for intra in ALGOS
+    )
+    intra_effect = max(
+        max(high[(i, inter)].obtaining.mean for i in ALGOS)
+        / min(high[(i, inter)].obtaining.mean for i in ALGOS)
+        for inter in ALGOS
+    )
+    assert inter_effect > intra_effect

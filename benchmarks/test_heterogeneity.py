@@ -1,0 +1,53 @@
+"""Latency heterogeneity and the per-site experience (§4.5's root cause).
+
+§4.5 attributes the large obtaining-time deviation to "the communication
+heterogeneity of the Grid platform: inter cluster latencies are much
+higher than intra cluster ones and the former are not uniform".  This
+bench looks at the same effect from the per-site angle: under the
+Figure 3 matrix, sites behind expensive links (nancy, with its 95/98 ms
+paths) wait visibly longer for the inter token than well-connected ones
+— and on a uniform two-tier platform the spread collapses.
+"""
+
+from conftest import run_once
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.grid import GRID5000_SITES
+from repro.metrics import format_table
+
+
+def _per_cluster(platform: str, seed=3):
+    cfg = ExperimentConfig(
+        platform=platform,
+        n_clusters=9 if platform == "grid5000" else 9,
+        apps_per_cluster=3,
+        n_cs=15,
+        rho=4.0 * 27,  # high parallelism: obtaining ~ T_req + T_token
+        seed=seed,
+    )
+    r = run_experiment(cfg)
+    return {ci: stats.mean for ci, stats in r.per_cluster.items()}
+
+
+def test_per_site_obtaining_times_reflect_the_matrix(benchmark):
+    grid, uniform = run_once(
+        benchmark, lambda: (_per_cluster("grid5000"), _per_cluster("two-tier"))
+    )
+    rows = [
+        (GRID5000_SITES[ci], grid[ci], uniform[ci])
+        for ci in sorted(grid)
+    ]
+    print("\nmean obtaining time per site (ms), high parallelism:")
+    print(format_table(["site", "grid5000 matrix", "uniform two-tier"], rows))
+
+    grid_vals = list(grid.values())
+    uni_vals = list(uniform.values())
+    grid_spread = max(grid_vals) / min(grid_vals)
+    uni_spread = max(uni_vals) / min(uni_vals)
+    print(f"spread (worst/best site): grid5000 {grid_spread:.2f}x, "
+          f"uniform {uni_spread:.2f}x")
+
+    # The heterogeneous matrix spreads the per-site experience far more
+    # than the uniform platform does.
+    assert grid_spread > uni_spread
+    assert grid_spread > 1.3
+    assert uni_spread < 1.5

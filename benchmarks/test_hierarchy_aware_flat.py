@@ -1,0 +1,95 @@
+"""The related work's *other* road to hierarchy: Bertier et al. [3].
+
+Instead of composing two algorithms, Bertier et al. modify Naimi-Tréhel
+itself to treat intra-cluster requests before inter-cluster ones.  Our
+:class:`~repro.mutex.PriorityNaimiPeer` with
+:class:`~repro.mutex.ClusterAffinityPolicy` rebuilds that design: one
+flat token, token-carried queue, same-cluster requests served first
+under a bounded streak.
+
+The bench compares three deployments under contention on the Grid'5000
+model:
+
+* plain flat Naimi (the paper's baseline),
+* Bertier-style affinity flat Naimi (related work),
+* the paper's Naimi-Naimi composition.
+
+Expected outcome (and the paper's implicit argument for composing
+instead of modifying): affinity scheduling recovers *part* of the
+composition's inter-cluster savings — it batches CS entries by cluster
+— but still pays tree-routing WAN hops for every request, so the
+composition stays ahead on inter-cluster messages.
+"""
+
+from conftest import run_once
+from repro.core import Composition, FlatMutex
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import build_platform
+from repro.metrics import TimelineRecorder, format_table
+from repro.mutex import ClusterAffinityPolicy, PriorityNaimiPeer
+from repro.net import Network
+from repro.sim import Simulator
+from repro.workload import deploy_workload
+
+CFG = ExperimentConfig(
+    n_clusters=6, apps_per_cluster=3, n_cs=10, rho=9.0,  # rho/N = 0.5
+)
+
+
+def _run(kind: str, seed: int = 9):
+    sim = Simulator(seed=seed)
+    topo, latency = build_platform(CFG)
+    net = Network(sim, topo, latency)
+    if kind == "composition":
+        system = Composition(sim, net, topo, intra="naimi", inter="naimi")
+    elif kind == "affinity":
+        def factory(sim, net, node, peers, port, initial_holder=None):
+            return PriorityNaimiPeer(
+                sim, net, node, peers, port, initial_holder=initial_holder,
+                policy=ClusterAffinityPolicy(topo, max_streak=8),
+            )
+
+        system = FlatMutex(sim, net, topo, peer_factory=factory,
+                           name="affinity-naimi (flat)")
+    else:
+        system = FlatMutex(sim, net, topo, algorithm="naimi")
+    timeline = TimelineRecorder(sim.trace, topo, system.app_nodes)
+    apps, collector = deploy_workload(
+        system, alpha_ms=CFG.alpha_ms, rho=CFG.rho, n_cs=CFG.n_cs
+    )
+    sim.run(until=10_000_000.0)
+    assert all(a.done for a in apps)
+    return {
+        "obtain": collector.obtaining_stats().mean,
+        "inter_per_cs": net.stats.inter_cluster / collector.cs_count,
+        "locality": timeline.locality_ratio(),
+    }
+
+
+def test_affinity_flat_vs_composition(benchmark):
+    def study():
+        return {
+            "naimi (flat)": _run("flat"),
+            "Bertier-style affinity (flat)": _run("affinity"),
+            "naimi-naimi (composition)": _run("composition"),
+        }
+
+    study = run_once(benchmark, study)
+    print("\n" + format_table(
+        ["deployment", "obtain (ms)", "inter msg/CS", "locality"],
+        [
+            (k, v["obtain"], v["inter_per_cs"], v["locality"])
+            for k, v in study.items()
+        ],
+    ))
+    flat = study["naimi (flat)"]
+    affinity = study["Bertier-style affinity (flat)"]
+    comp = study["naimi-naimi (composition)"]
+
+    # Affinity scheduling batches CS entries by cluster...
+    assert affinity["locality"] > flat["locality"]
+    # ...and cuts inter-cluster traffic vs the plain flat algorithm...
+    assert affinity["inter_per_cs"] < flat["inter_per_cs"]
+    # ...but the composition still sends the fewest inter-cluster
+    # messages (requests never leave the cluster unless needed).
+    assert comp["inter_per_cs"] < affinity["inter_per_cs"]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the substrate and algorithms.
+
+Unlike the figure benches (timed once), these use pytest-benchmark's
+normal repeated timing: kernel event throughput, per-algorithm cost of a
+full contended round, and an end-to-end composition run.  They guard
+against performance regressions in the simulator itself.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def schedule_and_drain():
+        sim = Simulator(seed=0)
+        count = 10_000
+        for i in range(count):
+            sim.schedule(float(i % 97) * 0.25, _noop)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(schedule_and_drain)
+    assert fired == 10_000
+
+
+def _noop():
+    pass
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["martin", "naimi", "suzuki", "raymond", "ricart-agrawala"]
+)
+def test_algorithm_contended_round(benchmark, algorithm):
+    """One full contended round: 8 peers all request, all get served."""
+    import sys
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent.parent))
+    from tests.helpers import PeerDriver
+
+    def round_trip():
+        d = PeerDriver(algorithm=algorithm, n=8, cs_time=0.5)
+        for node in range(8):
+            d.request(node, at=0.0)
+        d.run()
+        return len(d.entries)
+
+    entries = benchmark(round_trip)
+    assert entries == 8
+
+
+def test_end_to_end_composition_run(benchmark):
+    cfg = ExperimentConfig(
+        n_clusters=3, apps_per_cluster=3, n_cs=5, rho=9.0,
+        check_safety=False,
+    )
+
+    result = benchmark(run_experiment, cfg)
+    assert result.cs_count == 45
+
+
+def test_end_to_end_flat_run(benchmark):
+    cfg = ExperimentConfig(
+        system="flat", n_clusters=3, apps_per_cluster=3, n_cs=5, rho=9.0,
+        check_safety=False,
+    )
+    result = benchmark(run_experiment, cfg)
+    assert result.cs_count == 45
+
+
+def test_safety_checker_overhead(benchmark):
+    """The tracing-based safety checker should cost little; this bench
+    documents the overhead of running with it enabled."""
+    cfg = ExperimentConfig(
+        n_clusters=3, apps_per_cluster=3, n_cs=5, rho=9.0,
+        check_safety=True,
+    )
+    result = benchmark(run_experiment, cfg)
+    assert result.cs_count == 45

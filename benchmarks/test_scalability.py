@@ -1,0 +1,69 @@
+"""§4.7 scalability claims: the composition scales better than the
+original algorithms.
+
+* Flat Suzuki needs N messages per CS and its token grows with N; the
+  "Suzuki-Suzuki" composition confines broadcasts to cluster /
+  coordinator scopes, so per-CS costs grow with the cluster size and the
+  cluster *count*, not their product.
+* "Naimi-Naimi" sends fewer inter-cluster messages than flat Naimi
+  because a token request path, seen at cluster granularity, never
+  cycles.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import scalability_study
+from repro.metrics import format_table
+
+
+def _print(study):
+    rows = []
+    for label, points in study.items():
+        for p in points:
+            rows.append((
+                label, p.n_clusters, p.n_apps, p.inter_messages_per_cs,
+                p.total_messages_per_cs, p.bytes_per_cs, p.obtaining_mean_ms,
+            ))
+    print("\n" + format_table(
+        ["deployment", "clusters", "N", "interMsg/CS", "msg/CS",
+         "bytes/CS", "obtain(ms)"],
+        rows,
+    ))
+
+
+@pytest.mark.parametrize("algorithm", ["suzuki", "naimi"])
+def test_composition_scales_better_than_flat(benchmark, algorithm):
+    study = run_once(
+        benchmark, scalability_study, algorithm, (2, 4, 8), 4, 8,
+    )
+    _print(study)
+    flat = study[f"{algorithm} (flat)"]
+    composed = study[f"{algorithm}-{algorithm}"]
+
+    for f, c in zip(flat, composed):
+        # At every size the composition sends fewer inter-cluster
+        # messages per CS.
+        assert c.inter_messages_per_cs < f.inter_messages_per_cs
+
+    # And the flat deployment's inter-cluster cost grows faster with the
+    # grid size than the composition's.
+    flat_growth = flat[-1].inter_messages_per_cs / flat[0].inter_messages_per_cs
+    comp_growth = (
+        composed[-1].inter_messages_per_cs / composed[0].inter_messages_per_cs
+    )
+    assert comp_growth < flat_growth
+
+
+def test_flat_suzuki_token_bytes_grow_with_n(benchmark):
+    """Flat Suzuki's token carries an N-entry array (the paper's message
+    size argument); the composition keeps per-message sizes bounded by
+    the cluster size and the cluster count."""
+    study = run_once(
+        benchmark, scalability_study, "suzuki", (2, 8), 4, 8,
+    )
+    _print(study)
+    flat = study["suzuki (flat)"]
+    composed = study["suzuki-suzuki"]
+    assert flat[-1].bytes_per_cs > flat[0].bytes_per_cs
+    assert composed[-1].bytes_per_cs < flat[-1].bytes_per_cs

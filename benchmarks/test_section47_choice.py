@@ -1,0 +1,69 @@
+"""§4.7 — "Choosing the best composition of mutual exclusion algorithms".
+
+The paper's conclusion table, reproduced as executable assertions:
+
+* **low parallelism** (ρ < N): Martin inter matches the others on
+  obtaining time but sends far fewer inter-cluster messages — Martin is
+  the most effective;
+* **intermediate** (N ≤ ρ < 3N): Naimi and Suzuki tie on obtaining time
+  but Suzuki costs more messages — Naimi is the best choice;
+* **high parallelism** (ρ ≥ 3N): Suzuki costs the most messages but its
+  obtaining time is much smaller than Martin's (and below Naimi's) —
+  Suzuki is the good choice for massively parallel applications.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import inter_sweep
+
+
+def _metrics(sweep, inter, x):
+    r = sweep[(f"naimi-{inter}", x)]
+    return r.obtaining.mean, r.inter_messages_per_cs
+
+
+def test_section47_low_parallelism_martin_wins(benchmark, scale):
+    sweep = run_once(benchmark, inter_sweep, scale)
+    x = min(scale.rho_over_n)  # 0.5: almost everybody requests
+    rows = {i: _metrics(sweep, i, x) for i in ("naimi", "martin", "suzuki")}
+    print(f"\nrho/N={x}: " + "  ".join(
+        f"{k}: {t:.1f}ms / {m:.2f} msg/CS" for k, (t, m) in rows.items()
+    ))
+    # Same obtaining time (within noise)...
+    times = [t for t, _ in rows.values()]
+    assert max(times) / min(times) < 1.35
+    # ...but Martin sends the fewest inter-cluster messages.
+    assert rows["martin"][1] == min(m for _, m in rows.values())
+    assert rows["martin"][1] < rows["suzuki"][1] / 2
+
+
+def test_section47_intermediate_naimi_wins(benchmark, scale):
+    sweep = run_once(benchmark, inter_sweep, scale)
+    x = 2.0  # N < rho <= 3N
+    rows = {i: _metrics(sweep, i, x) for i in ("naimi", "martin", "suzuki")}
+    print(f"\nrho/N={x}: " + "  ".join(
+        f"{k}: {t:.1f}ms / {m:.2f} msg/CS" for k, (t, m) in rows.items()
+    ))
+    # Naimi and Suzuki comparable on time, Martin slightly higher (§4.3).
+    assert rows["naimi"][0] < rows["martin"][0]
+    # Naimi beats Suzuki on messages.
+    assert rows["naimi"][1] < rows["suzuki"][1]
+    # Overall: Naimi is not beaten on both axes by anyone.
+    for other in ("martin", "suzuki"):
+        better_time = rows[other][0] < rows["naimi"][0] * 0.95
+        better_msgs = rows[other][1] < rows["naimi"][1] * 0.95
+        assert not (better_time and better_msgs), f"{other} dominates naimi"
+
+
+def test_section47_high_parallelism_suzuki_wins_on_time(benchmark, scale):
+    sweep = run_once(benchmark, inter_sweep, scale)
+    x = max(scale.rho_over_n)  # 6.0: requests are rare
+    rows = {i: _metrics(sweep, i, x) for i in ("naimi", "martin", "suzuki")}
+    print(f"\nrho/N={x}: " + "  ".join(
+        f"{k}: {t:.1f}ms / {m:.2f} msg/CS" for k, (t, m) in rows.items()
+    ))
+    # Suzuki generates the most inter-cluster messages (broadcast)...
+    assert rows["suzuki"][1] == max(m for _, m in rows.values())
+    # ...but its obtaining time is the smallest, far below Martin's
+    # (T_req = T vs N/2 hops).
+    assert rows["suzuki"][0] == min(t for t, _ in rows.values())
+    assert rows["martin"][0] > rows["suzuki"][0] * 1.8

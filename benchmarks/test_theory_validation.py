@@ -1,0 +1,102 @@
+"""Simulator vs the paper's analytical cost models (§2, §4.3).
+
+Two cross-checks that tie the simulation to the paper's formulas:
+
+* **message counts** — under full contention each algorithm's measured
+  per-CS message count matches §2's closed forms (Martin ≈ N,
+  Naimi ≈ log2(N)+1, Suzuki ≈ N) on a flat instance;
+* **high-parallelism obtaining time** — with sparse requests the
+  composition's obtaining time approaches §4.3's ``T_req + T_token``
+  model evaluated on the actual latency matrix, for each inter
+  algorithm; crucially the *ordering* Suzuki < Naimi < Martin is exact.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.runner import build_platform
+from repro.experiments.theory import (
+    expected_messages_per_cs,
+    expected_obtaining_high_parallelism,
+)
+from repro.metrics import format_table
+
+from tests.helpers import PeerDriver  # reuse the flat-instance driver
+
+
+def _measured_messages(algorithm: str, n: int, cycles: int = 6) -> float:
+    d = PeerDriver(algorithm=algorithm, n=n, cs_time=0.5, latency_ms=1.0)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.25)
+    d.run().check()
+    return d.messages / len(d.entries)
+
+
+def test_message_counts_match_section2(benchmark):
+    n = 16
+
+    def study():
+        return {
+            algo: (_measured_messages(algo, n),
+                   expected_messages_per_cs(algo, n))
+            for algo in ("martin", "naimi", "suzuki")
+        }
+
+    study = run_once(benchmark, study)
+    print("\n" + format_table(
+        ["algorithm", "measured msg/CS", "paper model"],
+        [(k, m, e) for k, (m, e) in study.items()],
+    ))
+    measured_m, model_m = study["martin"]
+    # Martin under full contention approaches 2 messages/CS (request and
+    # token both travel a single hop when every neighbour is requesting
+    # — the very §4.4 effect that makes the ring the low-rho winner);
+    # the N model is the sparse-request average and upper-bounds it.
+    assert measured_m <= model_m
+    assert measured_m >= 1.5
+    # Naimi: within 2x of log2(N)+1 (path reversal keeps it logarithmic).
+    measured_n, model_n = study["naimi"]
+    assert measured_n < 2.0 * model_n
+    # Suzuki: exactly N-1 requests + 1 token when every CS needs a
+    # broadcast; holders re-entering without broadcast can only lower it.
+    measured_s, model_s = study["suzuki"]
+    assert measured_s <= model_s + 1e-9
+    assert measured_s > 0.6 * model_s
+    # Cross-algorithm ordering under FULL contention: the ring is the
+    # cheapest (requests absorbed next door — the paper's low-rho
+    # winner), the tree next, the broadcast costliest.
+    assert measured_m < measured_n < measured_s
+
+
+def test_high_parallelism_obtaining_matches_section43(benchmark):
+    cfg = ExperimentConfig(
+        n_clusters=9, apps_per_cluster=2, n_cs=10, rho=6.0 * 18, seed=2,
+    )
+    topo, latency = build_platform(cfg)
+
+    def study():
+        out = {}
+        for inter in ("martin", "naimi", "suzuki"):
+            r = run_experiment(cfg.with_(inter=inter))
+            out[inter] = (
+                r.obtaining.mean,
+                expected_obtaining_high_parallelism(inter, topo, latency),
+            )
+        return out
+
+    study = run_once(benchmark, study)
+    print("\n" + format_table(
+        ["inter", "measured obtain (ms)", "T_req+T_token model (ms)"],
+        [(k, m, e) for k, (m, e) in study.items()],
+    ))
+    # Ordering is exact: Suzuki < Naimi < Martin (§4.3's conclusion).
+    measured = {k: m for k, (m, _) in study.items()}
+    model = {k: e for k, (_, e) in study.items()}
+    assert measured["suzuki"] < measured["naimi"] < measured["martin"]
+    assert model["suzuki"] < model["naimi"] < model["martin"]
+    # Magnitudes agree within a factor 2 (residual queueing, LAN hops
+    # and the tree's amortised-vs-worst-case gap are inside that).
+    for inter in ("martin", "naimi", "suzuki"):
+        ratio = measured[inter] / model[inter]
+        assert 0.5 < ratio < 2.5, (inter, ratio)

@@ -1,0 +1,129 @@
+"""Plugging a user-defined algorithm into the composition framework.
+
+The paper's key claim is that *any* token-based mutual exclusion
+algorithm can be composed at either level without modification, as long
+as it speaks the classical request/release interface.  This example
+implements a new algorithm from scratch — a **direct-handoff arbiter**:
+a fixed arbiter orders requests FIFO, but the token travels directly
+from holder to next holder instead of bouncing through the arbiter —
+registers it, and runs it as the inter algorithm under Naimi intra.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from collections import deque
+
+from repro.errors import ProtocolError
+from repro.mutex import AlgorithmInfo, MutexPeer, PeerState, register
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+class DirectHandoffPeer(MutexPeer):
+    """Arbiter-ordered token algorithm with direct token handoff.
+
+    Message kinds: ``ask`` (requester -> arbiter), ``handoff``
+    (arbiter -> current holder, naming the next holder), ``token``
+    (holder -> next holder).  4 messages per CS in steady state, but the
+    token itself takes a single hop — between grid coordinators this
+    costs one WAN trip where the centralized baseline pays two.
+    """
+
+    algorithm_name = "direct-handoff"
+    topology = "star + direct token hops"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.arbiter = self.peers[0]
+        self._holds_token = self.node == self.initial_holder
+        self._pending_handoff = None  # next holder, while we are in CS
+        # Arbiter state:
+        self._queue = deque()
+        self._holder = self.initial_holder
+
+    @property
+    def holds_token(self) -> bool:
+        return self._holds_token
+
+    @property
+    def has_pending_request(self) -> bool:
+        return self._pending_handoff is not None
+
+    # -- requesting ---------------------------------------------------- #
+    def _do_request(self) -> None:
+        if self._holds_token and self._pending_handoff is None:
+            self._grant()
+            return
+        self._send(self.arbiter, "ask")
+
+    def _do_release(self) -> None:
+        if self._pending_handoff is not None:
+            dst, self._pending_handoff = self._pending_handoff, None
+            self._holds_token = False
+            self._send(dst, "token")
+
+    # -- arbiter ------------------------------------------------------- #
+    def _on_ask(self, msg) -> None:
+        if self.node != self.arbiter:
+            raise ProtocolError(f"{self.name}: ask at non-arbiter")
+        self._queue.append(msg.src)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        nxt = self._queue.popleft()
+        if self._holder == self.node and self._holds_token:
+            # Arbiter holds the token itself.
+            if self.state is PeerState.CS:
+                self._pending_handoff = nxt
+                self._holder = nxt
+                self._notify_pending()
+            else:
+                self._holds_token = False
+                self._holder = nxt
+                self._send(nxt, "token")
+        else:
+            self._send(self._holder, "handoff", {"next": nxt})
+            self._holder = nxt
+
+    # -- holders ------------------------------------------------------- #
+    def _on_handoff(self, msg) -> None:
+        nxt = msg.payload["next"]
+        if self._holds_token and self.state is not PeerState.CS:
+            self._holds_token = False
+            self._send(nxt, "token")
+        else:
+            self._pending_handoff = nxt
+            if self.state is PeerState.CS:
+                self._notify_pending()
+
+    def _on_token(self, msg) -> None:
+        if self._holds_token:
+            raise ProtocolError(f"{self.name}: second token")
+        self._holds_token = True
+        if self.state is not PeerState.REQ:
+            raise ProtocolError(f"{self.name}: token in {self.state.value}")
+        self._grant()
+
+
+register(AlgorithmInfo(
+    name="direct-handoff",
+    peer_class=DirectHandoffPeer,
+    token_based=True,
+    topology="star + direct hops",
+    messages_per_cs="4",
+    paper_section="examples/custom_algorithm.py",
+))
+
+result = run_experiment(ExperimentConfig(
+    intra="naimi",
+    inter="direct-handoff",   # <- the new algorithm, by name
+    n_clusters=6, apps_per_cluster=3, n_cs=12, rho=18.0, seed=3,
+))
+print(f"composition       : {result.name}")
+print(f"critical sections : {result.cs_count}")
+print(f"obtaining time    : {result.obtaining.mean:.2f} ms "
+      f"(std {result.obtaining.std:.2f})")
+print(f"inter msgs per CS : {result.inter_messages_per_cs:.2f}")
+print("\nThe safety checker ran on every CS: a custom algorithm that "
+      "violated mutual exclusion would have aborted the run.")

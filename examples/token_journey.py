@@ -1,0 +1,51 @@
+"""Watching the token travel: CS timelines and cluster locality.
+
+Runs the same contended workload under the composition and under the
+flat algorithm, then draws each run's critical-section gantt (one row
+per Grid'5000 site) and the token's journey at cluster granularity.
+The composition's batching — long same-cluster bursts while the inter
+token is home — is the visual counterpart of Figure 4(b)'s message
+savings.
+
+Run:  python examples/token_journey.py
+"""
+
+from repro.core import Composition, FlatMutex
+from repro.grid import grid5000_latency, grid5000_topology
+from repro.metrics import TimelineRecorder
+from repro.net import Network
+from repro.sim import Simulator
+from repro.workload import deploy_workload
+
+
+def run(kind: str) -> TimelineRecorder:
+    sim = Simulator(seed=12)
+    topology = grid5000_topology(nodes_per_cluster=3, n_sites=5)
+    net = Network(sim, topology, grid5000_latency(topology))
+    if kind == "composition":
+        system = Composition(sim, net, topology, intra="naimi", inter="naimi")
+    else:
+        system = FlatMutex(sim, net, topology, algorithm="naimi")
+    timeline = TimelineRecorder(sim.trace, topology, system.app_nodes)
+    apps, _ = deploy_workload(system, alpha_ms=10.0, rho=4.0, n_cs=8)
+    sim.run()
+    assert all(a.done for a in apps)
+    return timeline
+
+
+for kind in ("composition", "flat"):
+    timeline = run(kind)
+    print(f"=== {kind} (naimi-naimi vs flat naimi, rho/N = 0.27) ===")
+    print(timeline.render(width=66))
+    runs = timeline.cluster_runs()
+    longest = max(length for _, length in runs)
+    print(f"token journey: {len(runs)} cluster visits for "
+          f"{len(timeline.entry_clusters())} critical sections; "
+          f"longest same-cluster burst = {longest}")
+    print(f"locality ratio = {timeline.locality_ratio():.2f}")
+    print()
+
+print("Under the composition roughly half of all CS handovers stay "
+      "inside one cluster\n(the coordinator drains the local queue "
+      "before giving up the inter token); the\nflat tree hops to "
+      "another site after almost every single critical section.")

@@ -1,0 +1,62 @@
+"""repro — reproduction of "A Composition Approach to Mutual Exclusion
+Algorithms for Grid Applications" (Sopena, Legond-Aubry, Arantes, Sens,
+ICPP 2007).
+
+The library provides:
+
+* a deterministic discrete-event simulator (:mod:`repro.sim`) with a
+  latency-hierarchy network model (:mod:`repro.net`, :mod:`repro.grid`)
+  standing in for the Grid'5000 testbed;
+* the paper's three token-based mutual exclusion algorithms — Martin's
+  ring, Naimi-Tréhel's tree, Suzuki-Kasami's broadcast — plus several
+  extension/baseline algorithms (:mod:`repro.mutex`);
+* the paper's contribution: a hierarchical *composition* of any intra-
+  cluster algorithm with any inter-cluster algorithm through per-cluster
+  coordinator processes (:mod:`repro.core`);
+* workload, metric, verification and experiment layers that regenerate
+  every figure of the paper's evaluation (:mod:`repro.workload`,
+  :mod:`repro.metrics`, :mod:`repro.verify`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_composition
+    result = run_composition(intra="naimi", inter="martin", rho=180.0)
+    print(result.obtaining_time.mean, result.inter_messages_per_cs)
+"""
+
+from .errors import (
+    CompositionError,
+    ConfigurationError,
+    LivenessViolation,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SafetyViolation,
+    SimulationError,
+    TopologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "NetworkError",
+    "TopologyError",
+    "ProtocolError",
+    "CompositionError",
+    "SafetyViolation",
+    "LivenessViolation",
+    "ConfigurationError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy re-exports keep `import repro` light while offering a flat
+    # convenience API once the heavier layers are needed.
+    if name in {"run_composition", "run_flat", "ExperimentResult"}:
+        from .experiments import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

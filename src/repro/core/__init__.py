@@ -1,0 +1,31 @@
+"""The paper's contribution: hierarchical composition of mutual
+exclusion algorithms.
+
+* :class:`~repro.core.coordinator.Coordinator` — the hybrid process
+  bridging two algorithm instances (Fig 1(b) automaton, Fig 2 pseudo-code).
+* :class:`~repro.core.composition.Composition` — the two-level assembly
+  (any intra algorithm × any inter algorithm).
+* :class:`~repro.core.composition.FlatMutex` — the non-hierarchical
+  baseline ("original algorithm").
+* :class:`~repro.core.multilevel.MultilevelComposition` — >2 levels
+  (paper §6 extension).
+* :class:`~repro.core.adaptive.AdaptiveComposition` — runtime switching
+  of the inter algorithm (paper §6 future work).
+"""
+
+from .adaptive import AdaptiveComposition, AdaptivePolicy
+from .composition import Composition, FlatMutex, MutexSystem
+from .coordinator import Coordinator
+from .multilevel import MultilevelComposition
+from .states import CoordinatorState
+
+__all__ = [
+    "CoordinatorState",
+    "Coordinator",
+    "MutexSystem",
+    "Composition",
+    "FlatMutex",
+    "MultilevelComposition",
+    "AdaptiveComposition",
+    "AdaptivePolicy",
+]

@@ -1,0 +1,200 @@
+"""Multi-level hierarchies (paper §6: "our two-level approach ... can be
+easily extended to multiple levels of algorithm hierarchy").
+
+The extension is purely structural — no new protocol is needed.  A *zone*
+coordinator is an ordinary :class:`~repro.core.coordinator.Coordinator`
+whose **lower** instance is the zone's algorithm (whose other peers are
+the cluster coordinators of the zone) and whose **upper** instance is the
+next level up.  Recursion therefore builds any tree:
+
+* each **cluster** runs a level-0 instance over its application nodes
+  plus its cluster coordinator (exactly as in the two-level
+  :class:`~repro.core.composition.Composition`);
+* each **group** of clusters/groups runs a level-k instance over its
+  members' coordinator nodes, plus — unless it is the root group — the
+  group's own coordinator, which initially holds the group token;
+* the **root** group has no coordinator: its instance's token initially
+  idles at the first member, like the inter token of the two-level case.
+
+Node budget: a hierarchy of depth ``D`` (``D = 1`` is the two-level
+case) reserves the first ``D`` nodes of every cluster as coordinator
+slots — slot ``k`` hosts the level-``k`` coordinator of the group whose
+subtree starts at that cluster; unused slots stay idle so every cluster
+contributes the same number of application nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import CompositionError
+from ..mutex.base import MutexPeer
+from ..mutex.registry import get_algorithm
+from ..net.network import Network
+from ..net.topology import GridTopology
+from ..sim.kernel import Simulator
+from .composition import MutexSystem
+from .coordinator import Coordinator
+
+__all__ = ["MultilevelComposition"]
+
+#: A hierarchy spec: either a cluster index or a list of sub-specs.
+Spec = Union[int, Sequence["Spec"]]
+
+
+def _leaf_depth(spec: Spec) -> int:
+    """Depth of the (required uniform-depth) spec tree; a bare cluster
+    index has depth 0."""
+    if isinstance(spec, int):
+        return 0
+    if not spec:
+        raise CompositionError("empty group in hierarchy spec")
+    depths = {_leaf_depth(child) for child in spec}
+    if len(depths) != 1:
+        raise CompositionError(
+            f"hierarchy leaves at mixed depths: {sorted(depths)}"
+        )
+    return depths.pop() + 1
+
+
+def _first_cluster(spec: Spec) -> int:
+    """Leftmost cluster index of a spec subtree."""
+    while not isinstance(spec, int):
+        spec = spec[0]
+    return spec
+
+
+def _collect_clusters(spec: Spec, out: List[int]) -> None:
+    if isinstance(spec, int):
+        out.append(spec)
+    else:
+        for child in spec:
+            _collect_clusters(child, out)
+
+
+class MultilevelComposition(MutexSystem):
+    """A composition with an arbitrary number of hierarchy levels.
+
+    Parameters
+    ----------
+    hierarchy:
+        Nested lists of cluster indices.  ``[0, 1, 2]`` is the ordinary
+        two-level composition over three clusters;
+        ``[[0, 1], [2, 3]]`` adds a zone level (two zones of two
+        clusters each) for a three-level hierarchy.
+    algorithms:
+        One algorithm name per level, bottom-up: ``algorithms[0]`` runs
+        inside clusters, ``algorithms[k]`` at hierarchy level ``k``.
+        Length must be the spec depth + 1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        topology: GridTopology,
+        hierarchy: Spec,
+        algorithms: Sequence[str],
+    ) -> None:
+        super().__init__(sim, net, topology)
+        if isinstance(hierarchy, int):
+            raise CompositionError("hierarchy root must be a group, not a cluster")
+        depth = _leaf_depth(hierarchy)
+        if len(algorithms) != depth + 1:
+            raise CompositionError(
+                f"hierarchy depth {depth} needs {depth + 1} algorithms, "
+                f"got {len(algorithms)}"
+            )
+        clusters: List[int] = []
+        _collect_clusters(hierarchy, clusters)
+        if sorted(clusters) != list(range(topology.n_clusters)):
+            raise CompositionError(
+                f"hierarchy must cover clusters 0..{topology.n_clusters - 1} "
+                f"exactly once, got {sorted(clusters)}"
+            )
+        for ci in range(topology.n_clusters):
+            if len(topology.cluster_nodes(ci)) < depth + 1:
+                raise CompositionError(
+                    f"cluster {ci} has {len(topology.cluster_nodes(ci))} "
+                    f"nodes; a depth-{depth} hierarchy reserves {depth} "
+                    "coordinator slots plus at least one application node"
+                )
+        self.depth = depth
+        self.level_names = [get_algorithm(a).name for a in algorithms]
+        self._classes = [get_algorithm(a).peer_class for a in algorithms]
+        self._app_peers: Dict[int, MutexPeer] = {}
+        self.coordinators: List[Coordinator] = []
+        self._group_counter = 0
+        self._build_group(hierarchy, depth, is_root=True)
+
+    # ------------------------------------------------------------------ #
+    def _build_group(
+        self, spec: Spec, level: int, is_root: bool
+    ) -> Tuple[int, MutexPeer]:
+        """Build the instance for ``spec`` at ``level``; returns the
+        (coordinator node, peer) handle the parent instance uses."""
+        if isinstance(spec, int):
+            return self._build_cluster(spec)
+
+        children = [self._build_group(child, level - 1, False) for child in spec]
+        member_nodes = [node for node, _ in children]
+
+        gid = self._group_counter
+        self._group_counter += 1
+        port = f"l{level}/{gid}"
+        peer_cls = self._classes[level]
+
+        if is_root:
+            nodes = member_nodes
+            holder = member_nodes[0]
+        else:
+            coord_node = self.topology.cluster_nodes(_first_cluster(spec))[level]
+            nodes = member_nodes + [coord_node]
+            holder = coord_node
+
+        instance = {
+            node: peer_cls(self.sim, self.net, node, nodes, port,
+                           initial_holder=holder)
+            for node in nodes
+        }
+        # Bridge every child into this instance.
+        for (child_node, child_peer) in children:
+            self.coordinators.append(
+                Coordinator(self.sim, child_peer, instance[child_node])
+            )
+        if is_root:
+            return (-1, instance[member_nodes[0]])  # unused
+        return (holder, instance[holder])
+
+    def _build_cluster(self, ci: int) -> Tuple[int, MutexPeer]:
+        nodes = self.topology.cluster_nodes(ci)
+        coord_node = nodes[0]
+        app_nodes = nodes[self.depth:]
+        peer_cls = self._classes[0]
+        members = (coord_node, *app_nodes)
+        port = f"intra/{ci}"
+        peers = {
+            node: peer_cls(self.sim, self.net, node, members, port,
+                           initial_holder=coord_node)
+            for node in members
+        }
+        for node in app_nodes:
+            self._app_peers[node] = peers[node]
+        return (coord_node, peers[coord_node])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return "/".join(self.level_names)
+
+    @property
+    def app_nodes(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._app_peers))
+
+    def peer_for(self, node: int) -> MutexPeer:
+        try:
+            return self._app_peers[node]
+        except KeyError:
+            raise CompositionError(
+                f"node {node} hosts no application peer (coordinator slot?)"
+            ) from None

@@ -1,0 +1,251 @@
+"""Figure-series generators: one function per figure of the paper.
+
+Figures 4(a), 4(b), 5(a) and 5(b) all read off the same experiment
+matrix — {Naimi-Naimi, Naimi-Martin, Naimi-Suzuki, original Naimi} × a
+ρ sweep — so the sweep is computed once per scale and cached.  Figure 6
+uses its own sweep with the *intra* algorithm varying instead.
+
+Every generator returns a :class:`FigureData` whose ``series`` map the
+paper's curve labels to y-values over the shared ρ/N axis.  The
+benchmark harness prints them and asserts the qualitative shapes listed
+in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from ..workload.behavior import PAPER_RHO_OVER_N_GRID
+from .config import ExperimentConfig
+from .runner import AggregateResult, run_many
+
+__all__ = [
+    "FigureScale",
+    "QUICK_SCALE",
+    "PAPER_SCALE",
+    "scale_from_env",
+    "FigureData",
+    "inter_sweep",
+    "intra_sweep",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+    "ALL_FIGURES",
+]
+
+
+@dataclass(frozen=True)
+class FigureScale:
+    """Size of the experiment matrix behind the figures.
+
+    ``PAPER_SCALE`` is the paper's setup (9×20 processes, 100 CS each,
+    10 repetitions); ``QUICK_SCALE`` keeps the same 9-site latency
+    structure at a fraction of the cost for CI-sized runs.
+    """
+
+    apps_per_cluster: int
+    n_cs: int
+    seeds: Tuple[int, ...]
+    rho_over_n: Tuple[float, ...] = PAPER_RHO_OVER_N_GRID
+    n_clusters: int = 9
+
+    @property
+    def n_apps(self) -> int:
+        return self.n_clusters * self.apps_per_cluster
+
+
+QUICK_SCALE = FigureScale(apps_per_cluster=4, n_cs=12, seeds=(0, 1))
+PAPER_SCALE = FigureScale(
+    apps_per_cluster=20, n_cs=100, seeds=tuple(range(10))
+)
+
+
+def scale_from_env() -> FigureScale:
+    """``PAPER_SCALE`` when ``REPRO_FULL=1`` is set, else ``QUICK_SCALE``."""
+    return PAPER_SCALE if os.environ.get("REPRO_FULL") == "1" else QUICK_SCALE
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """One reproduced figure: labelled series over the ρ/N axis."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    xs: Tuple[float, ...]
+    series: Dict[str, Tuple[float, ...]]
+
+    def to_table(self) -> str:
+        from ..metrics.report import format_series_table
+
+        return (
+            f"{self.figure_id}: {self.title}\n"
+            f"(y = {self.y_label})\n"
+            + format_series_table(self.x_label, list(self.xs), dict(self.series))
+        )
+
+
+# --------------------------------------------------------------------- #
+# sweeps (cached per scale)
+# --------------------------------------------------------------------- #
+SweepKey = Tuple[str, float]  # (curve label, rho_over_n)
+Sweep = Dict[SweepKey, AggregateResult]
+
+
+def _base_config(scale: FigureScale) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_clusters=scale.n_clusters,
+        apps_per_cluster=scale.apps_per_cluster,
+        n_cs=scale.n_cs,
+    )
+
+
+@lru_cache(maxsize=None)
+def inter_sweep(scale: FigureScale) -> Sweep:
+    """The Fig 4/5 matrix: intra fixed to Naimi, inter ∈ {Naimi, Martin,
+    Suzuki}, plus the original (flat) Naimi baseline."""
+    base = _base_config(scale)
+    out: Sweep = {}
+    for x in scale.rho_over_n:
+        rho = x * scale.n_apps
+        for inter in ("naimi", "martin", "suzuki"):
+            cfg = base.with_(intra="naimi", inter=inter, rho=rho)
+            out[(f"naimi-{inter}", x)] = run_many(cfg, scale.seeds)
+        flat = base.with_(system="flat", intra="naimi", rho=rho)
+        out[("naimi (flat)", x)] = run_many(flat, scale.seeds)
+    return out
+
+
+@lru_cache(maxsize=None)
+def intra_sweep(scale: FigureScale) -> Sweep:
+    """The Fig 6 matrix: inter fixed to Naimi, intra ∈ {Naimi, Martin,
+    Suzuki}."""
+    base = _base_config(scale)
+    out: Sweep = {}
+    for x in scale.rho_over_n:
+        rho = x * scale.n_apps
+        for intra in ("naimi", "martin", "suzuki"):
+            cfg = base.with_(intra=intra, inter="naimi", rho=rho)
+            out[(f"{intra}-naimi", x)] = run_many(cfg, scale.seeds)
+    return out
+
+
+def _extract(
+    sweep: Sweep,
+    labels: Sequence[str],
+    xs: Sequence[float],
+    metric,
+) -> Dict[str, Tuple[float, ...]]:
+    return {
+        label: tuple(metric(sweep[(label, x)]) for x in xs)
+        for label in labels
+    }
+
+
+_INTER_LABELS = ("naimi-naimi", "naimi-martin", "naimi-suzuki", "naimi (flat)")
+_INTRA_LABELS = ("naimi-naimi", "martin-naimi", "suzuki-naimi")
+
+
+# --------------------------------------------------------------------- #
+# figure generators
+# --------------------------------------------------------------------- #
+def fig4a(scale: FigureScale) -> FigureData:
+    """Fig 4(a): obtaining time of application processes vs ρ."""
+    sweep = inter_sweep(scale)
+    return FigureData(
+        "fig4a",
+        "Composition evaluation: obtaining time",
+        "rho/N",
+        "mean obtaining time (ms)",
+        tuple(scale.rho_over_n),
+        _extract(sweep, _INTER_LABELS, scale.rho_over_n,
+                 lambda r: r.obtaining.mean),
+    )
+
+
+def fig4b(scale: FigureScale) -> FigureData:
+    """Fig 4(b): inter-cluster sent messages per CS vs ρ."""
+    sweep = inter_sweep(scale)
+    return FigureData(
+        "fig4b",
+        "Composition evaluation: inter-cluster sent messages",
+        "rho/N",
+        "inter-cluster messages per CS",
+        tuple(scale.rho_over_n),
+        _extract(sweep, _INTER_LABELS, scale.rho_over_n,
+                 lambda r: r.inter_messages_per_cs),
+    )
+
+
+def fig5a(scale: FigureScale) -> FigureData:
+    """Fig 5(a): standard deviation of the obtaining time vs ρ."""
+    sweep = inter_sweep(scale)
+    return FigureData(
+        "fig5a",
+        "Obtaining time standard deviation",
+        "rho/N",
+        "obtaining time std (ms)",
+        tuple(scale.rho_over_n),
+        _extract(sweep, _INTER_LABELS, scale.rho_over_n,
+                 lambda r: r.obtaining.std),
+    )
+
+
+def fig5b(scale: FigureScale) -> FigureData:
+    """Fig 5(b): relative deviation σ_r = σ/mean vs ρ."""
+    sweep = inter_sweep(scale)
+    return FigureData(
+        "fig5b",
+        "Obtaining time relative deviation",
+        "rho/N",
+        "sigma_r (std / mean)",
+        tuple(scale.rho_over_n),
+        _extract(sweep, _INTER_LABELS, scale.rho_over_n,
+                 lambda r: r.obtaining.relative_std),
+    )
+
+
+def fig6a(scale: FigureScale) -> FigureData:
+    """Fig 6(a): obtaining time vs ρ for the intra algorithm choice."""
+    sweep = intra_sweep(scale)
+    return FigureData(
+        "fig6a",
+        "Intra algorithm choice: obtaining time",
+        "rho/N",
+        "mean obtaining time (ms)",
+        tuple(scale.rho_over_n),
+        _extract(sweep, _INTRA_LABELS, scale.rho_over_n,
+                 lambda r: r.obtaining.mean),
+    )
+
+
+def fig6b(scale: FigureScale) -> FigureData:
+    """Fig 6(b): obtaining time std vs ρ for the intra algorithm choice
+    (the paper's "regularity" argument for Naimi intra)."""
+    sweep = intra_sweep(scale)
+    return FigureData(
+        "fig6b",
+        "Intra algorithm choice: obtaining time standard deviation",
+        "rho/N",
+        "obtaining time std (ms)",
+        tuple(scale.rho_over_n),
+        _extract(sweep, _INTRA_LABELS, scale.rho_over_n,
+                 lambda r: r.obtaining.std),
+    )
+
+
+ALL_FIGURES = {
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+}

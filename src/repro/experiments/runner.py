@@ -1,0 +1,246 @@
+"""Experiment runner: configuration -> simulation -> results.
+
+``run_experiment`` performs one complete run: build the platform,
+deploy the chosen mutual exclusion system and the α/β/ρ workload, run
+the kernel with the safety checker attached, and aggregate the paper's
+metrics.  ``run_many`` repeats over seeds like the paper's "every
+experiment was executed 10 times".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.adaptive import AdaptiveComposition
+from ..core.composition import Composition, FlatMutex, MutexSystem
+from ..core.multilevel import MultilevelComposition
+from ..errors import ConfigurationError, LivenessViolation
+from ..grid.builders import random_wan_grid, two_tier_grid
+from ..grid.grid5000 import grid5000_latency, grid5000_topology
+from ..metrics.analysis import SummaryStats, pooled
+from ..net.network import Network
+from ..net.topology import GridTopology
+from ..sim.kernel import Simulator
+from ..verify.safety import MutualExclusionChecker
+from ..workload.scenario import deploy_workload
+from .config import ExperimentConfig
+
+__all__ = [
+    "ExperimentResult",
+    "AggregateResult",
+    "run_experiment",
+    "run_many",
+    "run_composition",
+    "run_flat",
+    "build_platform",
+    "build_system",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Metrics of one run (one seed)."""
+
+    config: ExperimentConfig
+    name: str
+    obtaining: SummaryStats
+    cs_count: int
+    total_messages: int
+    inter_cluster_messages: int
+    intra_cluster_messages: int
+    total_bytes: int
+    inter_cluster_bytes: int
+    sim_time_ms: float
+    per_cluster: Dict[int, SummaryStats]
+    inter_algorithm_final: str = ""
+
+    @property
+    def inter_messages_per_cs(self) -> float:
+        """The paper's Fig 4(b) metric: inter-cluster sent messages,
+        normalised per executed critical section."""
+        return self.inter_cluster_messages / self.cs_count if self.cs_count else 0.0
+
+    @property
+    def messages_per_cs(self) -> float:
+        return self.total_messages / self.cs_count if self.cs_count else 0.0
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Metrics pooled over several seeds (the paper averages 10 runs)."""
+
+    name: str
+    runs: Tuple[ExperimentResult, ...]
+    obtaining: SummaryStats
+
+    @property
+    def inter_messages_per_cs(self) -> float:
+        return sum(r.inter_messages_per_cs for r in self.runs) / len(self.runs)
+
+    @property
+    def messages_per_cs(self) -> float:
+        return sum(r.messages_per_cs for r in self.runs) / len(self.runs)
+
+    @property
+    def cs_count(self) -> int:
+        return sum(r.cs_count for r in self.runs)
+
+
+# --------------------------------------------------------------------- #
+# construction helpers
+# --------------------------------------------------------------------- #
+def build_platform(config: ExperimentConfig):
+    """(topology, latency model) for the configured platform."""
+    if config.platform == "grid5000":
+        topo = grid5000_topology(
+            nodes_per_cluster=config.nodes_per_cluster,
+            n_sites=config.n_clusters,
+        )
+        return topo, grid5000_latency(topo, jitter=config.jitter)
+    if config.platform == "two-tier":
+        return two_tier_grid(
+            config.n_clusters,
+            config.nodes_per_cluster,
+            lan_ms=config.lan_ms,
+            wan_ms=config.wan_ms,
+            jitter=config.jitter,
+        )
+    if config.platform == "random-wan":
+        return random_wan_grid(
+            config.n_clusters,
+            config.nodes_per_cluster,
+            seed=config.seed,
+            jitter=config.jitter,
+        )
+    raise ConfigurationError(f"unknown platform {config.platform!r}")
+
+
+def build_system(
+    sim: Simulator,
+    net: Network,
+    topology: GridTopology,
+    config: ExperimentConfig,
+) -> MutexSystem:
+    """Instantiate the configured mutual exclusion system."""
+    if config.system == "composition":
+        return Composition(
+            sim, net, topology, intra=config.intra, inter=config.inter
+        )
+    if config.system == "flat":
+        return FlatMutex(sim, net, topology, algorithm=config.intra)
+    if config.system == "adaptive":
+        return AdaptiveComposition(
+            sim, net, topology, intra=config.intra, initial_inter=config.inter
+        )
+    if config.system == "multilevel":
+        hierarchy = _to_lists(config.hierarchy)
+        return MultilevelComposition(
+            sim, net, topology, hierarchy, list(config.algorithms)
+        )
+    raise ConfigurationError(f"unknown system {config.system!r}")
+
+
+def _to_lists(spec):
+    if isinstance(spec, int):
+        return spec
+    return [_to_lists(s) for s in spec]
+
+
+# --------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------- #
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one configured simulation to completion and aggregate."""
+    config.validate()
+    sim = Simulator(seed=config.seed)
+    topology, latency = build_platform(config)
+    net = Network(sim, topology, latency, fifo=config.fifo)
+    system = build_system(sim, net, topology, config)
+
+    safety: Optional[MutualExclusionChecker] = None
+    if config.check_safety:
+        app_set = frozenset(system.app_nodes)
+        safety = MutualExclusionChecker(
+            sim.trace,
+            include=lambda rec: rec.node in app_set
+            and (rec.port.startswith("intra") or rec.port == "flat"),
+        )
+
+    remaining = {"count": len(system.app_nodes)}
+
+    def app_done(_app) -> None:
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            sim.stop()
+
+    apps, collector = deploy_workload(
+        system,
+        alpha_ms=config.alpha_ms,
+        rho=config.rho,
+        n_cs=config.n_cs,
+        distribution=config.distribution,
+        on_done=app_done,
+    )
+    deadline = (
+        config.deadline_ms
+        if config.deadline_ms is not None
+        else config.default_deadline()
+    )
+    sim.run(until=deadline)
+    unfinished = [a.name for a in apps if not a.done]
+    if unfinished:
+        raise LivenessViolation(
+            f"{config.describe()}: {len(unfinished)} application "
+            f"process(es) unfinished at t={sim.now:.0f}ms "
+            f"(first: {unfinished[:5]})"
+        )
+    stats = net.stats
+    return ExperimentResult(
+        config=config,
+        name=system.name,
+        obtaining=collector.obtaining_stats(),
+        cs_count=collector.cs_count,
+        total_messages=stats.total,
+        inter_cluster_messages=stats.inter_cluster,
+        intra_cluster_messages=stats.intra_cluster,
+        total_bytes=stats.bytes_total,
+        inter_cluster_bytes=stats.bytes_inter_cluster,
+        sim_time_ms=sim.now,
+        per_cluster=collector.by_cluster(),
+        inter_algorithm_final=getattr(system, "inter_name", ""),
+    )
+
+
+def run_many(
+    config: ExperimentConfig, seeds: Sequence[int] = (0, 1, 2)
+) -> AggregateResult:
+    """Run the same configuration over several seeds and pool the stats."""
+    if not seeds:
+        raise ConfigurationError("run_many needs at least one seed")
+    runs = tuple(run_experiment(config.with_(seed=s)) for s in seeds)
+    return AggregateResult(
+        name=runs[0].name,
+        runs=runs,
+        obtaining=pooled([r.obtaining for r in runs]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# convenience front doors (re-exported at package top level)
+# --------------------------------------------------------------------- #
+def run_composition(
+    intra: str = "naimi", inter: str = "naimi", rho: float = 180.0, **kw
+) -> ExperimentResult:
+    """One composition run with paper-like defaults (quick entry point)."""
+    return run_experiment(
+        ExperimentConfig(system="composition", intra=intra, inter=inter,
+                         rho=rho, **kw)
+    )
+
+
+def run_flat(algorithm: str = "naimi", rho: float = 180.0, **kw) -> ExperimentResult:
+    """One flat-baseline run with paper-like defaults."""
+    return run_experiment(
+        ExperimentConfig(system="flat", intra=algorithm, rho=rho, **kw)
+    )

@@ -1,0 +1,130 @@
+"""Analytical cost models from the paper (§2 and §4.3).
+
+For each algorithm §2 gives closed-form per-CS message counts and the
+request/grant delays ``T_req`` / ``T_token``; §4.3 composes them into
+the expected *obtaining time* of a coordinator at high parallelism
+(no queueing):
+
+    obtaining ≈ T_req + T_token
+
+with, for an inter level of C coordinators and mean inter-coordinator
+one-way delay T:
+
+* Martin:        T_req ≈ (C/2)·T        T_token ≈ (C/2)·T
+* Naimi-Tréhel:  T_req ≈ log2(C)·T      T_token ≈ T
+* Suzuki-Kasami: T_req ≈ T              T_token ≈ T
+
+These are *models*, not measurements: the benchmarks compare the
+simulator's high-ρ numbers against them (within generous tolerance) —
+catching both simulator bugs and accidental deviations from the paper's
+reasoning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.latency import MatrixLatency
+from ..net.topology import GridTopology
+
+__all__ = [
+    "CostModel",
+    "ALGORITHM_MODELS",
+    "expected_messages_per_cs",
+    "mean_inter_coordinator_delay",
+    "expected_obtaining_high_parallelism",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-CS cost model of one algorithm over ``n`` peers (§2)."""
+
+    name: str
+    #: average protocol messages per CS under contention
+    messages: "callable"
+    #: request-path delay in units of T
+    t_req: "callable"
+    #: token-grant delay in units of T
+    t_token: "callable"
+
+
+ALGORITHM_MODELS: Dict[str, CostModel] = {
+    "martin": CostModel(
+        "martin",
+        messages=lambda n: float(n),            # 2(x+1), x ~ U => N avg
+        t_req=lambda n: n / 2.0,
+        t_token=lambda n: n / 2.0,
+    ),
+    "naimi": CostModel(
+        "naimi",
+        messages=lambda n: math.log2(n) + 1 if n > 1 else 0.0,
+        t_req=lambda n: math.log2(n) if n > 1 else 0.0,
+        t_token=lambda n: 1.0,
+    ),
+    "suzuki": CostModel(
+        "suzuki",
+        messages=lambda n: float(n),             # N-1 requests + token
+        t_req=lambda n: 1.0,
+        t_token=lambda n: 1.0,
+    ),
+}
+
+
+def expected_messages_per_cs(algorithm: str, n_peers: int) -> float:
+    """§2's average per-CS message count for ``algorithm`` over
+    ``n_peers`` participants."""
+    try:
+        model = ALGORITHM_MODELS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"no analytical model for {algorithm!r}; "
+            f"known: {sorted(ALGORITHM_MODELS)}"
+        ) from None
+    if n_peers < 1:
+        raise ConfigurationError(f"n_peers must be >= 1, got {n_peers}")
+    return model.messages(n_peers)
+
+
+def mean_inter_coordinator_delay(
+    topology: GridTopology, latency: MatrixLatency
+) -> float:
+    """Mean one-way delay T between distinct coordinators (ms), from the
+    latency matrix — the T of §4.3's formulas."""
+    n = topology.n_clusters
+    if n < 2:
+        return 0.0
+    delays = [
+        latency.mean_one_way(i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j
+    ]
+    return float(np.mean(delays))
+
+
+def expected_obtaining_high_parallelism(
+    inter_algorithm: str,
+    topology: GridTopology,
+    latency: MatrixLatency,
+) -> float:
+    """§4.3's model of a coordinator's obtaining time when requests are
+    sparse: ``T_req + T_token`` over the inter level.
+
+    The application process additionally pays two LAN hops (request to
+    its coordinator, intra token back), which are negligible against the
+    WAN terms and therefore omitted, exactly as the paper does.
+    """
+    model = ALGORITHM_MODELS.get(inter_algorithm)
+    if model is None:
+        raise ConfigurationError(
+            f"no analytical model for {inter_algorithm!r}"
+        )
+    c = topology.n_clusters
+    t = mean_inter_coordinator_delay(topology, latency)
+    return (model.t_req(c) + model.t_token(c)) * t

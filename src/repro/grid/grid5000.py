@@ -1,0 +1,107 @@
+"""The Grid'5000 platform model.
+
+The paper's experiments ran on 9 Grid'5000 clusters (one per French
+city), 20 nodes each, and report the average inter-site RTTs in
+Figure 3.  This module embeds that matrix verbatim so the simulated
+platform exhibits exactly the latency heterogeneity the paper measured
+— including its quirks, such as the pathological orsay→nancy (95 ms)
+and nancy→toulouse (98 ms) paths and the asymmetry of several pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..net.latency import MatrixLatency
+from ..net.topology import GridTopology, uniform_topology
+
+__all__ = [
+    "GRID5000_SITES",
+    "GRID5000_RTT_MS",
+    "grid5000_topology",
+    "grid5000_latency",
+    "PAPER_NODES_PER_CLUSTER",
+    "PAPER_N_PROCESSES",
+]
+
+#: Site names in the order of the paper's Figure 3.
+GRID5000_SITES: Tuple[str, ...] = (
+    "orsay",
+    "grenoble",
+    "lyon",
+    "rennes",
+    "lille",
+    "nancy",
+    "toulouse",
+    "sophia",
+    "bordeaux",
+)
+
+#: Average round-trip times in milliseconds between Grid'5000 sites
+#: (paper Figure 3; row = from, column = to).
+GRID5000_RTT_MS: np.ndarray = np.array(
+    [
+        # orsay  grenobl lyon    rennes  lille   nancy   toulous sophia  bordeaux
+        [0.034, 15.039, 9.128, 8.881, 4.489, 95.282, 15.556, 20.239, 7.900],
+        [14.976, 0.066, 3.293, 15.269, 12.954, 13.246, 10.582, 9.904, 16.288],
+        [9.136, 3.309, 0.026, 12.672, 10.377, 10.634, 7.956, 7.289, 10.078],
+        [8.913, 15.258, 12.617, 0.059, 11.269, 11.654, 19.911, 19.224, 8.114],
+        [10.000, 10.001, 10.001, 10.001, 0.001, 10.001, 20.000, 20.001, 10.001],
+        [5.657, 13.279, 10.623, 11.679, 9.228, 0.032, 98.398, 17.215, 12.827],
+        [15.547, 10.586, 7.934, 19.888, 19.102, 17.886, 0.043, 14.540, 3.131],
+        [20.332, 9.889, 7.254, 19.215, 16.811, 17.238, 14.529, 0.051, 10.629],
+        [7.925, 16.338, 10.043, 8.129, 10.845, 12.795, 3.150, 10.640, 0.045],
+    ],
+    dtype=float,
+)
+GRID5000_RTT_MS.setflags(write=False)
+
+#: Scale used in the paper: 9 clusters x 20 nodes = 180 application
+#: processes.
+PAPER_NODES_PER_CLUSTER = 20
+PAPER_N_PROCESSES = len(GRID5000_SITES) * PAPER_NODES_PER_CLUSTER
+
+
+def grid5000_topology(
+    nodes_per_cluster: int = PAPER_NODES_PER_CLUSTER,
+    n_sites: Optional[int] = None,
+) -> GridTopology:
+    """Build the 9-site Grid'5000 topology.
+
+    Parameters
+    ----------
+    nodes_per_cluster:
+        Nodes per site; the paper uses 20.  Smaller values give the same
+        latency structure at reduced simulation cost.
+    n_sites:
+        Use only the first ``n_sites`` sites (default: all 9).
+    """
+    if n_sites is None:
+        n_sites = len(GRID5000_SITES)
+    if not 1 <= n_sites <= len(GRID5000_SITES):
+        raise TopologyError(
+            f"n_sites must be in 1..{len(GRID5000_SITES)}, got {n_sites}"
+        )
+    return uniform_topology(
+        n_sites, nodes_per_cluster, names=GRID5000_SITES[:n_sites]
+    )
+
+
+def grid5000_latency(
+    topology: GridTopology, jitter: float = 0.0
+) -> MatrixLatency:
+    """Latency model realising the Figure 3 RTT matrix over ``topology``.
+
+    ``topology`` must have been built by :func:`grid5000_topology` (or at
+    least have no more clusters than there are Grid'5000 sites).
+    """
+    n = topology.n_clusters
+    if n > len(GRID5000_SITES):
+        raise TopologyError(
+            f"topology has {n} clusters but Grid'5000 has only "
+            f"{len(GRID5000_SITES)} sites"
+        )
+    return MatrixLatency(topology, GRID5000_RTT_MS[:n, :n], jitter=jitter)

@@ -1,0 +1,20 @@
+"""Measurement layer: per-CS records, aggregation, text reports."""
+
+from .analysis import SummaryStats, jain_index, pooled, summarize
+from .collector import MetricsCollector
+from .records import CSRecord
+from .report import format_matrix, format_series_table, format_table
+from .timeline import TimelineRecorder
+
+__all__ = [
+    "CSRecord",
+    "MetricsCollector",
+    "SummaryStats",
+    "summarize",
+    "pooled",
+    "jain_index",
+    "TimelineRecorder",
+    "format_table",
+    "format_series_table",
+    "format_matrix",
+]

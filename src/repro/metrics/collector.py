@@ -1,0 +1,72 @@
+"""Collection of per-CS records during a run."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from .analysis import SummaryStats, jain_index, summarize
+from .records import CSRecord
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates :class:`~repro.metrics.records.CSRecord` objects.
+
+    Application processes push a record per completed CS; the experiment
+    layer reads the aggregations after the run.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[CSRecord] = []
+
+    def add(self, record: CSRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cs_count(self) -> int:
+        return len(self.records)
+
+    def obtaining_times(self) -> List[float]:
+        return [r.obtaining_time for r in self.records]
+
+    def obtaining_stats(self) -> SummaryStats:
+        """The paper's headline metric over the whole run."""
+        return summarize(self.obtaining_times())
+
+    def by_cluster(self) -> Dict[int, SummaryStats]:
+        """Obtaining time summary per cluster — used to study how latency
+        heterogeneity spreads the per-cluster experience (§4.5)."""
+        groups: Dict[int, List[float]] = defaultdict(list)
+        for r in self.records:
+            groups[r.cluster].append(r.obtaining_time)
+        return {ci: summarize(v) for ci, v in sorted(groups.items())}
+
+    def by_node(self) -> Dict[int, SummaryStats]:
+        groups: Dict[int, List[float]] = defaultdict(list)
+        for r in self.records:
+            groups[r.node].append(r.obtaining_time)
+        return {node: summarize(v) for node, v in sorted(groups.items())}
+
+    def completion_time(self) -> float:
+        """Simulated time of the last CS release (0 when empty)."""
+        return max((r.released_at for r in self.records), default=0.0)
+
+    def fairness(self) -> Dict[str, float]:
+        """Fairness indicators across application processes.
+
+        * ``obtaining_jain`` — Jain's index over each node's *mean*
+          obtaining time (1.0 = every node waits equally long);
+        * ``worst_over_best`` — ratio of the slowest node's mean
+          obtaining time to the fastest node's (1.0 = perfectly even).
+        """
+        per_node = [s.mean for s in self.by_node().values()]
+        if not per_node:
+            return {"obtaining_jain": 1.0, "worst_over_best": 1.0}
+        best = min(per_node)
+        return {
+            "obtaining_jain": jain_index(per_node),
+            "worst_over_best": max(per_node) / best if best else float("inf"),
+        }

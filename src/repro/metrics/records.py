@@ -1,0 +1,40 @@
+"""Per-critical-section measurement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CSRecord"]
+
+
+@dataclass(frozen=True)
+class CSRecord:
+    """One completed critical section of one application process.
+
+    All timestamps are simulated milliseconds.  The paper's **obtaining
+    time** — "the time between the moment a node requests the CS and the
+    moment it gets it" — is :attr:`obtaining_time`.
+    """
+
+    node: int
+    cluster: int
+    requested_at: float
+    granted_at: float
+    released_at: float
+
+    @property
+    def obtaining_time(self) -> float:
+        return self.granted_at - self.requested_at
+
+    @property
+    def cs_duration(self) -> float:
+        return self.released_at - self.granted_at
+
+    def __post_init__(self) -> None:
+        if not (
+            self.requested_at <= self.granted_at <= self.released_at
+        ):
+            raise ValueError(
+                f"inconsistent CS timestamps: req={self.requested_at} "
+                f"grant={self.granted_at} rel={self.released_at}"
+            )

@@ -1,0 +1,236 @@
+"""Common interface of every mutual exclusion algorithm.
+
+The composition approach's central requirement (paper §3.1) is that the
+composed algorithms need **no modification**: the coordinator drives each
+level purely through the classical interface — request the CS, release
+the CS, get told when the CS is granted.  One extension is needed for the
+coordinator to work (paper Fig 2, lines 8 and 15): the process currently
+*holding* the right to the CS must be able to learn that someone else is
+waiting.  Every algorithm here therefore exposes:
+
+``request_cs()`` / ``release_cs()``
+    The classical entry points (the paper's ``IntraCSRequest`` /
+    ``IntraCSRelease`` and ``InterCSRequest`` / ``InterCSRelease``).
+``on_granted``
+    Callbacks fired when this peer enters the CS.
+``on_pending_request`` / ``has_pending_request``
+    Callbacks fired (and a queryable flag) when this peer, while holding
+    the token / being inside the CS, learns another peer wants in.  This
+    is observable in every algorithm without modifying its protocol: it
+    is exactly the event "a request reached the current holder and had to
+    be queued or deferred".
+
+Peers are state machines over three states (paper Fig 1a): ``NO_REQ``,
+``REQ`` and ``CS``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import abstractmethod
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..net.message import DEFAULT_MESSAGE_SIZE, Message
+from ..net.network import Network
+from ..sim.kernel import Simulator
+from ..sim.process import Process
+
+__all__ = ["PeerState", "MutexPeer"]
+
+
+class PeerState(enum.Enum):
+    """The classical mutual exclusion automaton states (paper Fig 1a)."""
+
+    NO_REQ = "NO_REQ"
+    REQ = "REQ"
+    CS = "CS"
+
+
+class MutexPeer(Process):
+    """One participant in a distributed mutual exclusion algorithm.
+
+    Parameters
+    ----------
+    sim, net:
+        Kernel and transport.
+    node:
+        The node this peer runs on.
+    peers:
+        Node ids of **all** participants of this algorithm instance (in a
+        composition: the nodes of one cluster for an intra instance, the
+        coordinator nodes for the inter instance).  Must include ``node``.
+    port:
+        Network port shared by the instance's peers; also its identity
+        for message statistics (ports starting with ``"inter"`` are
+        counted as inter-algorithm traffic).
+    initial_holder:
+        The peer initially holding the token (or, for permission-based
+        algorithms, the notional favourite).  Defaults to ``peers[0]``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        node: int,
+        peers: Sequence[int],
+        port: str,
+        initial_holder: Optional[int] = None,
+    ) -> None:
+        super().__init__(sim, f"{port}@{node}")
+        if node not in peers:
+            raise ProtocolError(f"node {node} not in peer set {peers}")
+        if len(set(peers)) != len(peers):
+            raise ProtocolError(f"duplicate peers in {peers}")
+        self.net = net
+        self.node = int(node)
+        self.peers: Tuple[int, ...] = tuple(int(p) for p in peers)
+        self.port = port
+        if initial_holder is None:
+            initial_holder = self.peers[0]
+        if initial_holder not in self.peers:
+            raise ProtocolError(
+                f"initial holder {initial_holder} not in peer set"
+            )
+        self.initial_holder = int(initial_holder)
+        self._state = PeerState.NO_REQ
+        self.on_granted: List[Callable[[], None]] = []
+        self.on_pending_request: List[Callable[[], None]] = []
+        #: number of times this peer entered the CS
+        self.cs_count = 0
+        net.register(node, port, self._on_message)
+
+    # ------------------------------------------------------------------ #
+    # public state
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> PeerState:
+        """Current automaton state (Fig 1a)."""
+        return self._state
+
+    @property
+    def in_cs(self) -> bool:
+        return self._state is PeerState.CS
+
+    @property
+    @abstractmethod
+    def holds_token(self) -> bool:
+        """Whether this peer currently holds the algorithm's token.
+
+        Permission-based algorithms report ``True`` exactly while in the
+        CS (the moment they hold every permission)."""
+
+    @property
+    @abstractmethod
+    def has_pending_request(self) -> bool:
+        """Whether this peer knows of another peer waiting for the CS.
+
+        Only meaningful (and only guaranteed accurate) while this peer
+        holds the token / is in the CS — which is the only situation the
+        coordinator consults it in."""
+
+    # ------------------------------------------------------------------ #
+    # public operations
+    # ------------------------------------------------------------------ #
+    def request_cs(self) -> None:
+        """Ask for the critical section (``NO_REQ -> REQ``, or straight
+        to ``CS`` when the request can be granted locally).
+
+        Raises :class:`ProtocolError` if called while already requesting
+        or inside the CS.
+        """
+        if self._state is not PeerState.NO_REQ:
+            raise ProtocolError(
+                f"{self.name}: request_cs() in state {self._state.value}"
+            )
+        self._state = PeerState.REQ
+        if self.sim.trace.active:
+            self.sim.trace.emit(
+                "cs_request", time=self.now, node=self.node, port=self.port
+            )
+        self._do_request()
+
+    def release_cs(self) -> None:
+        """Leave the critical section (``CS -> NO_REQ``).
+
+        Raises :class:`ProtocolError` if not currently in the CS.
+        """
+        if self._state is not PeerState.CS:
+            raise ProtocolError(
+                f"{self.name}: release_cs() in state {self._state.value}"
+            )
+        self._state = PeerState.NO_REQ
+        if self.sim.trace.active:
+            self.sim.trace.emit(
+                "cs_exit", time=self.now, node=self.node, port=self.port
+            )
+        self._do_release()
+
+    # ------------------------------------------------------------------ #
+    # subclass protocol
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _do_request(self) -> None:
+        """Algorithm-specific request logic (state already set to REQ)."""
+
+    @abstractmethod
+    def _do_release(self) -> None:
+        """Algorithm-specific release logic (state already set to NO_REQ)."""
+
+    # ------------------------------------------------------------------ #
+    # helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def _grant(self) -> None:
+        """Enter the CS and notify subscribers.  Subclasses call this when
+        the token arrives (or all permissions are in)."""
+        if self._state is PeerState.CS:
+            raise ProtocolError(f"{self.name}: double grant")
+        self._state = PeerState.CS
+        self.cs_count += 1
+        if self.sim.trace.active:
+            self.sim.trace.emit(
+                "cs_enter", time=self.now, node=self.node, port=self.port
+            )
+        for fn in tuple(self.on_granted):
+            fn()
+
+    def _notify_pending(self) -> None:
+        """Tell subscribers that, while we hold the CS right, another peer
+        asked for it.  May fire more than once per holding period;
+        subscribers must be idempotent."""
+        for fn in tuple(self.on_pending_request):
+            fn()
+
+    def _send(self, dst: int, kind: str, payload: Optional[dict] = None,
+              size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        """Send a protocol message to peer ``dst`` on this instance's port."""
+        self.net.send(self.node, dst, self.port, kind, payload, size)
+
+    def _broadcast(self, kind: str, payload: Optional[dict] = None,
+                   size: int = DEFAULT_MESSAGE_SIZE) -> None:
+        """Send ``kind`` to every other peer (N-1 messages)."""
+        for dst in self.peers:
+            if dst != self.node:
+                self.net.send(self.node, dst, self.port, kind,
+                              dict(payload) if payload else {}, size)
+
+    def _on_message(self, msg: Message) -> None:
+        """Dispatch an incoming message to ``_on_<kind>``."""
+        handler = getattr(self, f"_on_{msg.kind}", None)
+        if handler is None:
+            raise ProtocolError(
+                f"{self.name}: unexpected message kind {msg.kind!r}"
+            )
+        handler(msg)
+
+    def shutdown(self) -> None:
+        """Detach from the network and cancel timers (test teardown)."""
+        self.cancel_timers()
+        self.net.unregister(self.node, self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} state={self._state.value} "
+            f"token={self.holds_token}>"
+        )

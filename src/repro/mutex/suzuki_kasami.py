@@ -1,0 +1,170 @@
+"""Suzuki-Kasami's broadcast algorithm (paper §2.3).
+
+A requester broadcasts ``request(i, x)`` — its id and a per-peer sequence
+number — to all other peers.  Every peer keeps ``RN[j]``, the highest
+request number seen from each ``j``.  The token carries ``LN[j]`` (the
+sequence number of ``j``'s most recently *satisfied* request) and a FIFO
+queue ``Q`` of peers with granted-pending requests.  On release the
+holder appends every ``j`` with ``RN[j] == LN[j] + 1`` not already in
+``Q``, then sends the token to the queue head.
+
+Per-CS cost: ``N`` messages (``N-1`` requests + 1 token);
+``T_req = T_token = T``.  The token message size grows with ``N``
+(it carries ``LN`` and ``Q``), which the statistics layer accounts for.
+
+Optional request retransmission (``retry_ms``): the paper (§2) notes
+that "by diffusing the request to all sites, Suzuki-Kasami's is more
+resilient to failures than the other two".  The RN/LN sequence numbers
+make a re-broadcast request idempotent, so a requester can simply
+re-send its (unchanged) request after a timeout, recovering from lost
+request messages — something neither the ring nor the tree algorithm
+can do without extra machinery.  Disabled by default (the paper's
+evaluation assumes a reliable network).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..errors import ProtocolError
+from ..net.message import DEFAULT_MESSAGE_SIZE
+from .base import MutexPeer, PeerState
+
+__all__ = ["SuzukiKasamiPeer"]
+
+
+class SuzukiKasamiPeer(MutexPeer):
+    """One peer of the Suzuki-Kasami token algorithm.
+
+    Message kinds: ``request`` (broadcast, carries origin + sequence
+    number), ``token`` (carries ``LN`` and ``Q``).
+    """
+
+    algorithm_name = "suzuki"
+    topology = "complete-graph"
+
+    def __init__(self, *args, retry_ms: Optional[float] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if retry_ms is not None and retry_ms <= 0:
+            raise ProtocolError(f"retry_ms must be positive, got {retry_ms}")
+        self.retry_ms = retry_ms
+        self.retries = 0
+        self._retry_timer = None
+        self.rn: Dict[int, int] = {p: 0 for p in self.peers}
+        self._holds_token = self.node == self.initial_holder
+        # Token state; only meaningful while holding the token.
+        self.ln: Optional[Dict[int, int]] = (
+            {p: 0 for p in self.peers} if self._holds_token else None
+        )
+        self.queue: Optional[Deque[int]] = (
+            deque() if self._holds_token else None
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def holds_token(self) -> bool:
+        return self._holds_token
+
+    @property
+    def has_pending_request(self) -> bool:
+        if not self._holds_token:
+            return False
+        assert self.ln is not None and self.queue is not None
+        if self.queue:
+            return True
+        return any(
+            self.rn[j] == self.ln[j] + 1
+            for j in self.peers
+            if j != self.node
+        )
+
+    # ------------------------------------------------------------------ #
+    # requesting
+    # ------------------------------------------------------------------ #
+    def _do_request(self) -> None:
+        if self._holds_token:
+            self._grant()
+            return
+        self.rn[self.node] += 1
+        self._broadcast(
+            "request", {"origin": self.node, "seq": self.rn[self.node]}
+        )
+        self._arm_retry()
+
+    def _arm_retry(self) -> None:
+        if self.retry_ms is None:
+            return
+        self._retry_timer = self.set_timer(
+            self.retry_ms, self._retry, label=f"{self.name}.retry"
+        )
+
+    def _retry(self) -> None:
+        """Re-broadcast the outstanding request (same sequence number —
+        receivers that already saw it ignore the duplicate via RN)."""
+        if self.state is not PeerState.REQ:
+            return
+        self.retries += 1
+        self._broadcast(
+            "request", {"origin": self.node, "seq": self.rn[self.node]}
+        )
+        self._arm_retry()
+
+    # ------------------------------------------------------------------ #
+    # releasing
+    # ------------------------------------------------------------------ #
+    def _do_release(self) -> None:
+        assert self.ln is not None and self.queue is not None
+        self.ln[self.node] = self.rn[self.node]
+        for j in self.peers:
+            if j != self.node and self.rn[j] == self.ln[j] + 1 and j not in self.queue:
+                self.queue.append(j)
+        if self.queue:
+            self._send_token(self.queue.popleft())
+
+    # ------------------------------------------------------------------ #
+    # message handlers
+    # ------------------------------------------------------------------ #
+    def _on_request(self, msg) -> None:
+        origin = msg.payload["origin"]
+        seq = msg.payload["seq"]
+        if seq <= self.rn[origin]:
+            return  # outdated or duplicated request
+        self.rn[origin] = seq
+        if not self._holds_token:
+            return
+        assert self.ln is not None
+        if self.rn[origin] == self.ln[origin] + 1:
+            if self.state is PeerState.NO_REQ:
+                # Idle holder grants immediately.
+                self._send_token(origin)
+            else:
+                # In the CS: the request will be queued at release time.
+                self._notify_pending()
+
+    def _on_token(self, msg) -> None:
+        if self._holds_token:
+            raise ProtocolError(f"{self.name}: received a second token")
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        self._holds_token = True
+        self.ln = dict(msg.payload["ln"])
+        self.queue = deque(msg.payload["queue"])
+        if self.state is not PeerState.REQ:
+            raise ProtocolError(
+                f"{self.name}: token arrived in state {self.state.value}"
+            )
+        self._grant()
+
+    # ------------------------------------------------------------------ #
+    def _send_token(self, dst: int) -> None:
+        """Transfer the token (with its LN array and queue) to ``dst``."""
+        assert self.ln is not None and self.queue is not None
+        ln, queue = self.ln, self.queue
+        self._holds_token = False
+        self.ln = None
+        self.queue = None
+        # The token payload scales with N: LN has one entry per peer.
+        size = DEFAULT_MESSAGE_SIZE + 8 * len(self.peers) + 8 * len(queue)
+        self._send(dst, "token", {"ln": dict(ln), "queue": list(queue)}, size=size)

@@ -1,0 +1,38 @@
+"""Simulated network substrate: topology, latency models, message
+transport, statistics, and (test-only) fault injection.
+
+This package stands in for the paper's Grid'5000 interconnect.  The
+latency hierarchy that drives every result in the paper — LAN inside a
+cluster, heterogeneous WAN between clusters — is expressed by a
+:class:`~repro.net.latency.LatencyModel` over a
+:class:`~repro.net.topology.GridTopology`.
+"""
+
+from .faults import FaultInjector
+from .latency import (
+    LOCAL_DELIVERY_MS,
+    ConstantLatency,
+    LatencyModel,
+    MatrixLatency,
+    TwoTierLatency,
+)
+from .message import DEFAULT_MESSAGE_SIZE, Message
+from .network import Network
+from .stats import MessageStats
+from .topology import Cluster, GridTopology, uniform_topology
+
+__all__ = [
+    "Cluster",
+    "GridTopology",
+    "uniform_topology",
+    "Message",
+    "DEFAULT_MESSAGE_SIZE",
+    "LatencyModel",
+    "ConstantLatency",
+    "TwoTierLatency",
+    "MatrixLatency",
+    "LOCAL_DELIVERY_MS",
+    "Network",
+    "MessageStats",
+    "FaultInjector",
+]

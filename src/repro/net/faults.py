@@ -1,0 +1,86 @@
+"""Fault injection for robustness testing.
+
+The paper's algorithms assume a reliable network (no loss); the fault
+layer exists so *tests* can assert how implementations react to message
+duplication and reordering — both of which genuinely happen over UDP —
+and to verify that the safety checkers catch a lost token.
+
+Faults are applied at send time by the network when a
+:class:`FaultInjector` is installed; production experiment runs never
+install one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NetworkError
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Probabilistic message perturbation.
+
+    Parameters
+    ----------
+    drop:
+        Probability a message is silently discarded.
+    duplicate:
+        Probability a message is delivered twice (the copy takes an
+        independently sampled latency, so copies may reorder).
+    delay_factor:
+        Extra multiplicative delay applied to a *duplicated* copy, to
+        spread the two deliveries apart.
+    only_kinds:
+        Restrict faults to messages of these kinds (``None`` = all).
+        E.g. duplicating only ``"request"`` messages tests a protocol's
+        idempotence without forging a second token — duplicating the
+        token itself violates the algorithms' system model.
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay_factor: float = 2.0,
+        only_kinds=None,
+    ) -> None:
+        for name, p in (("drop", drop), ("duplicate", duplicate)):
+            if not 0.0 <= p <= 1.0:
+                raise NetworkError(f"{name} probability {p} outside [0, 1]")
+        if delay_factor < 1.0:
+            raise NetworkError(f"delay_factor must be >= 1, got {delay_factor}")
+        self.drop = float(drop)
+        self.duplicate = float(duplicate)
+        self.delay_factor = float(delay_factor)
+        self.only_kinds = frozenset(only_kinds) if only_kinds is not None else None
+        self.dropped = 0
+        self.duplicated = 0
+
+    def _applies(self, kind: str) -> bool:
+        return self.only_kinds is None or kind in self.only_kinds
+
+    def should_drop(self, rng: np.random.Generator, kind: str = "") -> bool:
+        """Sample the drop decision for one message."""
+        if self._applies(kind) and self.drop > 0.0 and rng.random() < self.drop:
+            self.dropped += 1
+            return True
+        return False
+
+    def should_duplicate(self, rng: np.random.Generator, kind: str = "") -> bool:
+        """Sample the duplication decision for one message."""
+        if (
+            self._applies(kind)
+            and self.duplicate > 0.0
+            and rng.random() < self.duplicate
+        ):
+            self.duplicated += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector drop={self.drop} dup={self.duplicate} "
+            f"dropped={self.dropped} duplicated={self.duplicated}>"
+        )

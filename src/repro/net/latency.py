@@ -1,0 +1,166 @@
+"""Latency models.
+
+A latency model maps a directed node pair to a one-way message delay in
+milliseconds.  The paper's platform is characterised by its Figure 3 RTT
+matrix; :class:`MatrixLatency` realises exactly that: one-way delay =
+RTT/2 between the clusters of the two endpoints, with optional
+multiplicative jitter to model WAN variance.
+
+All models receive the RNG explicitly so the network owns exactly one
+jitter stream per simulation — deterministic and independent of how many
+other streams exist (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import NetworkError
+from .topology import GridTopology
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "TwoTierLatency",
+    "MatrixLatency",
+    "LOCAL_DELIVERY_MS",
+]
+
+#: Delay applied when a message stays on the same machine (two agents on
+#: one node, e.g. an application process talking to a co-located
+#: coordinator).  Small but non-zero so delivery is still an event.
+LOCAL_DELIVERY_MS = 0.001
+
+
+class LatencyModel(ABC):
+    """Maps a directed node pair to a one-way delay (ms)."""
+
+    @abstractmethod
+    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        """One-way delay in milliseconds for a message ``src -> dst``."""
+
+    def rtt(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        """Round-trip estimate (two one-way samples)."""
+        return self.one_way(src, dst, rng) + self.one_way(dst, src, rng)
+
+
+def _apply_jitter(
+    base: float, jitter: float, rng: np.random.Generator
+) -> float:
+    """Multiply ``base`` by a lognormal factor with relative spread
+    ``jitter`` (0 disables).  The factor has mean ~1 so jitter does not
+    bias the average latency."""
+    if jitter <= 0.0:
+        return base
+    # sigma chosen so std of the factor ~= jitter for small jitter.
+    sigma = float(jitter)
+    factor = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+    return base * factor
+
+
+class ConstantLatency(LatencyModel):
+    """Uniform delay between distinct nodes; local delivery for self-sends.
+
+    Useful for unit-testing algorithms where the latency hierarchy is
+    irrelevant.
+    """
+
+    def __init__(self, delay_ms: float, jitter: float = 0.0) -> None:
+        if delay_ms < 0:
+            raise NetworkError(f"negative latency {delay_ms}")
+        self.delay_ms = float(delay_ms)
+        self.jitter = float(jitter)
+
+    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        if src == dst:
+            return LOCAL_DELIVERY_MS
+        return _apply_jitter(self.delay_ms, self.jitter, rng)
+
+
+class TwoTierLatency(LatencyModel):
+    """LAN delay inside a cluster, a single WAN delay between clusters.
+
+    The simplest model exhibiting the paper's latency hierarchy; used by
+    unit tests and the synthetic scalability study.
+    """
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        lan_ms: float = 0.05,
+        wan_ms: float = 10.0,
+        jitter: float = 0.0,
+    ) -> None:
+        if lan_ms < 0 or wan_ms < 0:
+            raise NetworkError("latencies must be non-negative")
+        if wan_ms < lan_ms:
+            raise NetworkError(
+                f"WAN latency ({wan_ms}) below LAN latency ({lan_ms}) "
+                "inverts the grid hierarchy"
+            )
+        self.topology = topology
+        self.lan_ms = float(lan_ms)
+        self.wan_ms = float(wan_ms)
+        self.jitter = float(jitter)
+
+    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        if src == dst:
+            return LOCAL_DELIVERY_MS
+        base = (
+            self.lan_ms
+            if self.topology.same_cluster(src, dst)
+            else self.wan_ms
+        )
+        return _apply_jitter(base, self.jitter, rng)
+
+
+class MatrixLatency(LatencyModel):
+    """Per-cluster-pair latencies from a (possibly asymmetric) RTT matrix.
+
+    Parameters
+    ----------
+    topology:
+        Grid topology; the matrix is indexed by cluster index.
+    rtt_ms:
+        Square matrix of round-trip times in milliseconds; entry
+        ``[i, j]`` is the measured RTT from cluster ``i`` to cluster
+        ``j``.  The diagonal holds the intra-cluster (LAN) RTT.
+        One-way delay is ``rtt/2``.
+    jitter:
+        Relative lognormal spread applied per message (0 = deterministic).
+    """
+
+    def __init__(
+        self,
+        topology: GridTopology,
+        rtt_ms: Sequence[Sequence[float]] | np.ndarray,
+        jitter: float = 0.0,
+    ) -> None:
+        matrix = np.asarray(rtt_ms, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise NetworkError(f"RTT matrix must be square, got {matrix.shape}")
+        if matrix.shape[0] != topology.n_clusters:
+            raise NetworkError(
+                f"RTT matrix is {matrix.shape[0]}x{matrix.shape[0]} but the "
+                f"topology has {topology.n_clusters} clusters"
+            )
+        if np.any(matrix < 0):
+            raise NetworkError("RTT matrix has negative entries")
+        self.topology = topology
+        self.rtt_ms = matrix
+        self._one_way = matrix / 2.0
+        self.jitter = float(jitter)
+
+    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        if src == dst:
+            return LOCAL_DELIVERY_MS
+        ci = self.topology.cluster_of(src)
+        cj = self.topology.cluster_of(dst)
+        return _apply_jitter(float(self._one_way[ci, cj]), self.jitter, rng)
+
+    def mean_one_way(self, src_cluster: int, dst_cluster: int) -> float:
+        """Jitter-free one-way delay between two clusters (ms)."""
+        return float(self._one_way[src_cluster, dst_cluster])

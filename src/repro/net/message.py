@@ -1,0 +1,74 @@
+"""Messages exchanged by simulated processes.
+
+A message is addressed to a *(node, port)* pair: the node selects the
+machine, the port selects the agent on that machine (an intra-algorithm
+peer, an inter-algorithm peer, an application endpoint...).  This mirrors
+the paper's implementation, where each algorithm instance owns its own UDP
+socket on the host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["Message", "DEFAULT_MESSAGE_SIZE"]
+
+#: Nominal wire size (bytes) charged to a message when the sender does not
+#: specify one.  Chosen to approximate a small UDP control datagram.
+DEFAULT_MESSAGE_SIZE = 64
+
+
+class Message:
+    """An in-flight (or delivered) message.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids of the sending and receiving machines.
+    port:
+        Name of the protocol instance this message belongs to; delivery
+        dispatches on ``(dst, port)``.
+    kind:
+        Protocol-specific message type (``"request"``, ``"token"``, ...).
+    payload:
+        Protocol-specific fields.  Treated as immutable after send.
+    size:
+        Nominal size in bytes, used only by the statistics layer.
+    sent_at, delivered_at:
+        Simulated timestamps stamped by the network.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "port",
+        "kind",
+        "payload",
+        "size",
+        "sent_at",
+        "delivered_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        port: str,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        size: int = DEFAULT_MESSAGE_SIZE,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.kind = kind
+        self.payload = payload if payload is not None else {}
+        self.size = size
+        self.sent_at: float = float("nan")
+        self.delivered_at: float = float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message {self.kind} {self.src}->{self.dst} port={self.port} "
+            f"payload={self.payload!r}>"
+        )

@@ -1,0 +1,169 @@
+"""The simulated network.
+
+``Network.send`` stamps the message, records it in the statistics layer,
+samples a one-way latency from the latency model and schedules delivery
+on the kernel.  Delivery dispatches to the handler registered for the
+``(node, port)`` destination address.
+
+Ordering semantics
+------------------
+By default the network behaves like UDP (as in the paper's C
+implementation): each message's delay is sampled independently, so two
+messages on the same link may be delivered out of send order when jitter
+is enabled.  ``fifo=True`` enforces per-``(src, dst, port)`` FIFO by
+never delivering a message earlier than its predecessor on the same
+flow — useful for isolating reordering effects in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.kernel import Simulator
+from .faults import FaultInjector
+from .latency import LatencyModel
+from .message import DEFAULT_MESSAGE_SIZE, Message
+from .stats import MessageStats
+from .topology import GridTopology
+
+__all__ = ["Network"]
+
+Handler = Callable[[Message], None]
+
+
+class Network:
+    """Message transport between agents on simulated nodes.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event kernel.
+    topology:
+        Grid topology (for statistics classification and validation).
+    latency:
+        Latency model producing one-way delays.
+    fifo:
+        Enforce per-flow FIFO delivery (default ``False`` = UDP-like).
+    faults:
+        Optional fault injector (tests only).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: GridTopology,
+        latency: LatencyModel,
+        fifo: bool = False,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency
+        self.fifo = fifo
+        self.faults = faults
+        self.stats = MessageStats(topology)
+        self._handlers: Dict[Tuple[int, str], Handler] = {}
+        self._flow_clock: Dict[Tuple[int, int, str], float] = {}
+        self._rng = sim.rng.stream("network/latency")
+        self._fault_rng = sim.rng.stream("network/faults")
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register(self, node: int, port: str, handler: Handler) -> None:
+        """Attach ``handler`` to the address ``(node, port)``.
+
+        Exactly one handler per address; re-registering is an error
+        (it almost always means two agents were wired to the same port).
+        """
+        if not 0 <= node < self.topology.n_nodes:
+            raise NetworkError(f"unknown node {node}")
+        key = (node, port)
+        if key in self._handlers:
+            raise NetworkError(f"address {key} already has a handler")
+        self._handlers[key] = handler
+
+    def unregister(self, node: int, port: str) -> None:
+        """Detach the handler at ``(node, port)``; missing address is an error."""
+        try:
+            del self._handlers[(node, port)]
+        except KeyError:
+            raise NetworkError(f"no handler at {(node, port)}") from None
+
+    # ------------------------------------------------------------------ #
+    # sending
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        src: int,
+        dst: int,
+        port: str,
+        kind: str,
+        payload: Optional[dict] = None,
+        size: int = DEFAULT_MESSAGE_SIZE,
+    ) -> Message:
+        """Send a message; returns the (already stamped) message object.
+
+        Raises :class:`NetworkError` if the destination address has no
+        registered handler — unlike real UDP, a misdirected message in a
+        simulation is always a bug worth failing loudly on.
+        """
+        if (dst, port) not in self._handlers:
+            raise NetworkError(f"no handler registered at ({dst}, {port!r})")
+        if not 0 <= src < self.topology.n_nodes:
+            raise NetworkError(f"unknown source node {src}")
+        msg = Message(src, dst, port, kind, payload, size)
+        msg.sent_at = self.sim.now
+        self.stats.record(msg)
+        if self.sim.trace.active:
+            self.sim.trace.emit(
+                "send", time=self.sim.now, src=src, dst=dst, port=port,
+                kind=kind, payload=msg.payload,
+            )
+        if self.faults is not None and self.faults.should_drop(
+            self._fault_rng, kind
+        ):
+            return msg
+        self._schedule_delivery(msg, extra_factor=1.0)
+        if self.faults is not None and self.faults.should_duplicate(
+            self._fault_rng, kind
+        ):
+            copy = Message(src, dst, port, kind, dict(msg.payload), size)
+            copy.sent_at = msg.sent_at
+            self._schedule_delivery(copy, extra_factor=self.faults.delay_factor)
+        return msg
+
+    # ------------------------------------------------------------------ #
+    # delivery
+    # ------------------------------------------------------------------ #
+    def _schedule_delivery(self, msg: Message, extra_factor: float) -> None:
+        delay = self.latency.one_way(msg.src, msg.dst, self._rng) * extra_factor
+        due = self.sim.now + delay
+        if self.fifo:
+            flow = (msg.src, msg.dst, msg.port)
+            due = max(due, self._flow_clock.get(flow, 0.0))
+            self._flow_clock[flow] = due
+        self.sim.schedule_at(
+            due, self._deliver, msg, label=f"deliver:{msg.kind}@{msg.dst}"
+        )
+
+    def _deliver(self, msg: Message) -> None:
+        handler = self._handlers.get((msg.dst, msg.port))
+        if handler is None:
+            # The agent deregistered while the message was in flight
+            # (e.g. teardown); drop silently like a closed UDP socket.
+            return
+        msg.delivered_at = self.sim.now
+        if self.sim.trace.active:
+            self.sim.trace.emit(
+                "deliver", time=self.sim.now, src=msg.src, dst=msg.dst,
+                port=msg.port, kind=msg.kind, payload=msg.payload,
+            )
+        handler(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network nodes={self.topology.n_nodes} "
+            f"handlers={len(self._handlers)} fifo={self.fifo}>"
+        )

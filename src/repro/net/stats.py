@@ -1,0 +1,91 @@
+"""Message statistics.
+
+The paper's second metric is the **number of inter-cluster sent
+messages**; the statistics layer classifies every send as *local* (same
+node), *intra-cluster* or *inter-cluster* and tallies counts and bytes,
+overall and per port (protocol instance).  A per-cluster-pair matrix is
+kept for the scalability and topology studies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+import numpy as np
+
+from .message import Message
+from .topology import GridTopology
+
+__all__ = ["MessageStats"]
+
+
+class MessageStats:
+    """Tallies of messages sent through one :class:`~repro.net.network.Network`."""
+
+    def __init__(self, topology: GridTopology) -> None:
+        self.topology = topology
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. after a warm-up phase)."""
+        self.total = 0
+        self.local = 0
+        self.intra_cluster = 0
+        self.inter_cluster = 0
+        self.bytes_total = 0
+        self.bytes_inter_cluster = 0
+        self.by_port: Counter[str] = Counter()
+        self.inter_by_port: Counter[str] = Counter()
+        self.by_kind: Counter[str] = Counter()
+        n = self.topology.n_clusters
+        self.cluster_matrix = np.zeros((n, n), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def record(self, msg: Message) -> None:
+        """Account one sent message (called by the network at send time,
+        i.e. dropped messages still count as *sent*, as in the paper's
+        'number of sent messages' metric)."""
+        self.total += 1
+        self.bytes_total += msg.size
+        self.by_port[msg.port] += 1
+        self.by_kind[msg.kind] += 1
+        if msg.src == msg.dst:
+            self.local += 1
+            return
+        ci = self.topology.cluster_of(msg.src)
+        cj = self.topology.cluster_of(msg.dst)
+        self.cluster_matrix[ci, cj] += 1
+        if ci == cj:
+            self.intra_cluster += 1
+        else:
+            self.inter_cluster += 1
+            self.bytes_inter_cluster += msg.size
+            self.inter_by_port[msg.port] += 1
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict summary (stable keys, safe to compare in tests)."""
+        return {
+            "total": self.total,
+            "local": self.local,
+            "intra_cluster": self.intra_cluster,
+            "inter_cluster": self.inter_cluster,
+            "bytes_total": self.bytes_total,
+            "bytes_inter_cluster": self.bytes_inter_cluster,
+        }
+
+    def inter_cluster_for_ports(self, prefix: str) -> int:
+        """Inter-cluster sends whose port name starts with ``prefix``
+        (e.g. ``"inter"`` to isolate the inter-algorithm traffic)."""
+        return sum(
+            count
+            for port, count in self.inter_by_port.items()
+            if port.startswith(prefix)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MessageStats total={self.total} intra={self.intra_cluster} "
+            f"inter={self.inter_cluster} local={self.local}>"
+        )

@@ -1,0 +1,82 @@
+"""Event objects used by the discrete-event kernel.
+
+An :class:`Event` pairs a simulated timestamp with a callback.  Events are
+totally ordered by ``(time, seq)`` where ``seq`` is a kernel-assigned
+monotonically increasing sequence number; this makes simulation runs fully
+deterministic: two events scheduled for the same instant fire in the order
+they were scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code normally only sees the :class:`EventHandle` wrapper used for
+    cancellation.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = self.label or getattr(self.callback, "__qualname__", "?")
+        return f"<Event t={self.time:.6f} seq={self.seq} {name} [{state}]>"
+
+
+class EventHandle:
+    """Opaque handle returned by the scheduler, used to cancel an event.
+
+    Holding a handle does not keep the event alive past its firing; after
+    the event fires (or is cancelled) :attr:`active` turns ``False``.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (or was) due."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """``True`` while the event is still pending and not cancelled."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event.  Idempotent; cancelling a fired event is a no-op
+        at the kernel level (the kernel marks events as cancelled when they
+        fire, so a late ``cancel()`` never raises)."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventHandle {self._event!r}>"

@@ -1,0 +1,71 @@
+"""Simulated processes.
+
+A :class:`Process` is anything with behaviour in simulated time: an
+application process, a mutual exclusion peer, a coordinator.  The base
+class only provides naming, access to the kernel clock, and managed
+timers; message passing lives one layer up in :mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .event import EventHandle
+from .kernel import Simulator
+
+__all__ = ["Process"]
+
+
+class Process:
+    """Base class for simulated processes.
+
+    Parameters
+    ----------
+    sim:
+        The kernel this process lives on.
+    name:
+        Stable identifier used for tracing and RNG stream derivation.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._timers: list[EventHandle] = []
+
+    # ------------------------------------------------------------------ #
+    # time helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time (ms)."""
+        return self.sim.now
+
+    def set_timer(
+        self, delay: float, fn: Callable[..., Any], *args: Any, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` to fire ``delay`` ms from now.
+
+        The handle is tracked so :meth:`cancel_timers` can sweep every
+        outstanding timer of the process (used at teardown)."""
+        handle = self.sim.schedule(
+            delay, fn, *args, label=label or f"{self.name}.timer"
+        )
+        self._timers.append(handle)
+        # Opportunistically compact the tracking list so long-lived
+        # processes do not accumulate dead handles.
+        if len(self._timers) > 64:
+            self._timers = [h for h in self._timers if h.active]
+        return handle
+
+    def cancel_timers(self) -> None:
+        """Cancel every outstanding timer of this process."""
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+    def rng(self, purpose: str = "default"):
+        """Return this process's named random stream for ``purpose``."""
+        return self.sim.rng.stream(f"{self.name}/{purpose}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

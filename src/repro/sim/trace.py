@@ -1,0 +1,80 @@
+"""Lightweight structured tracing.
+
+The kernel, the network and the algorithms emit *trace records* — a kind
+string plus keyword fields — through a shared :class:`Tracer`.  With no
+subscribers the emit path is a single attribute check, so tracing costs
+nothing in production runs; tests and the safety/liveness checkers attach
+subscribers to observe the simulation without instrumenting the algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+class TraceRecord:
+    """One trace record: ``kind`` plus arbitrary keyword fields."""
+
+    __slots__ = ("kind", "fields")
+
+    def __init__(self, kind: str, fields: Dict[str, Any]) -> None:
+        self.kind = kind
+        self.fields = fields
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"<{self.kind} {inner}>"
+
+
+class Tracer:
+    """Pub/sub hub for trace records.
+
+    Subscribers register for a specific kind or for ``"*"`` (all kinds).
+    :attr:`active` is maintained so emitters can skip building the record
+    dict entirely when nobody is listening.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Callable[[TraceRecord], None]]] = defaultdict(list)
+        self.active = False
+
+    def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Register ``fn`` to receive every record of ``kind`` (or all
+        records when ``kind == "*"``)."""
+        self._subs[kind].append(fn)
+        self.active = True
+
+    def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        self._subs[kind].remove(fn)
+        if not any(self._subs.values()):
+            self.active = False
+
+    def emit(self, kind: str, /, **fields: Any) -> None:
+        """Deliver a record to the matching subscribers synchronously.
+
+        ``kind`` is positional-only so protocols may carry their own
+        ``kind`` field in ``fields`` without colliding (the record's own
+        kind stays authoritative under ``record.kind``; a field of the
+        same name is reachable via ``record.fields["kind"]``).
+        """
+        if not self.active:
+            return
+        record = TraceRecord(kind, fields)
+        for fn in self._subs.get(kind, ()):
+            fn(record)
+        for fn in self._subs.get("*", ()):
+            fn(record)
+
+    def record_into(self, kind: str, sink: List[TraceRecord]) -> None:
+        """Convenience: append every record of ``kind`` to ``sink``."""
+        self.subscribe(kind, sink.append)

@@ -1,0 +1,31 @@
+"""Verification of the mutual exclusion correctness properties.
+
+* :class:`~repro.verify.safety.MutualExclusionChecker` — the *safety*
+  property: at most one tracked process in the CS at any simulated time.
+* :class:`~repro.verify.liveness.LivenessChecker` — the *liveness*
+  property: every request is eventually satisfied.
+* :mod:`repro.verify.invariants` — structural checks on live peer state
+  (single token, idle at quiescence, ring consistency).
+"""
+
+from .invariants import (
+    assert_all_idle,
+    assert_consistent_ring,
+    assert_single_token,
+    token_holders,
+)
+from .digest import RunDigest
+from .liveness import LivenessChecker
+from .progress import ProgressWatchdog
+from .safety import MutualExclusionChecker
+
+__all__ = [
+    "MutualExclusionChecker",
+    "LivenessChecker",
+    "ProgressWatchdog",
+    "RunDigest",
+    "token_holders",
+    "assert_single_token",
+    "assert_all_idle",
+    "assert_consistent_ring",
+]

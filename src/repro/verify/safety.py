@@ -1,0 +1,96 @@
+"""Safety verification: at most one process in the critical section.
+
+The checker is **non-invasive**: it subscribes to the ``cs_enter`` /
+``cs_exit`` trace records that every :class:`~repro.mutex.base.MutexPeer`
+(and the workload's application processes) emit, and raises
+:class:`~repro.errors.SafetyViolation` the instant two tracked processes
+overlap inside the CS.  Because trace records are delivered synchronously
+from the kernel, a violation aborts the run at the exact simulated time
+it happens, with both culprits named.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set, Tuple
+
+from ..errors import SafetyViolation
+from ..sim.trace import TraceRecord, Tracer
+
+__all__ = ["MutualExclusionChecker"]
+
+Key = Tuple[int, str]
+
+
+class MutualExclusionChecker:
+    """Asserts the safety property over a filtered set of CS events.
+
+    Parameters
+    ----------
+    tracer:
+        The simulator's tracer.
+    enter_kind, exit_kind:
+        Trace kinds to watch (defaults match :class:`MutexPeer`; the
+        workload layer emits ``app_cs_enter`` / ``app_cs_exit``).
+    include:
+        Optional predicate on the trace record selecting which events are
+        subject to the mutual exclusion invariant — e.g. restrict to one
+        algorithm instance's port, or exclude coordinator nodes.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        enter_kind: str = "cs_enter",
+        exit_kind: str = "cs_exit",
+        include: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> None:
+        self._include = include
+        self.inside: Set[Key] = set()
+        self.total_entries = 0
+        self.max_concurrency = 0
+        tracer.subscribe(enter_kind, self._on_enter)
+        tracer.subscribe(exit_kind, self._on_exit)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def for_port(tracer: Tracer, port: str) -> "MutualExclusionChecker":
+        """Checker scoped to one algorithm instance (all peers on ``port``)."""
+        return MutualExclusionChecker(
+            tracer, include=lambda rec: rec.port == port
+        )
+
+    # ------------------------------------------------------------------ #
+    def _key(self, rec: TraceRecord) -> Key:
+        return (rec.node, rec.port)
+
+    def _on_enter(self, rec: TraceRecord) -> None:
+        if self._include is not None and not self._include(rec):
+            return
+        key = self._key(rec)
+        if self.inside:
+            others = ", ".join(f"{n}@{p}" for n, p in sorted(self.inside))
+            raise SafetyViolation(
+                f"t={rec.time:.3f}ms: {key[0]}@{key[1]} entered the CS "
+                f"while [{others}] inside"
+            )
+        self.inside.add(key)
+        self.total_entries += 1
+        self.max_concurrency = max(self.max_concurrency, len(self.inside))
+
+    def _on_exit(self, rec: TraceRecord) -> None:
+        if self._include is not None and not self._include(rec):
+            return
+        key = self._key(rec)
+        if key not in self.inside:
+            raise SafetyViolation(
+                f"t={rec.time:.3f}ms: {key[0]}@{key[1]} exited the CS "
+                "without having entered it"
+            )
+        self.inside.discard(key)
+
+    # ------------------------------------------------------------------ #
+    def assert_quiescent(self) -> None:
+        """Assert nobody is left inside the CS (end-of-run check)."""
+        if self.inside:
+            others = ", ".join(f"{n}@{p}" for n, p in sorted(self.inside))
+            raise SafetyViolation(f"run ended with [{others}] inside the CS")

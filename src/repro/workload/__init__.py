@@ -1,0 +1,24 @@
+"""Workload layer: the paper's α/β/ρ application model."""
+
+from .application import ApplicationProcess
+from .behavior import (
+    PAPER_ALPHA_MS,
+    PAPER_CS_PER_PROCESS,
+    PAPER_RHO_OVER_N_GRID,
+    ParallelismLevel,
+    beta_for_rho,
+    classify_rho,
+)
+from .scenario import deploy_hotspot_workload, deploy_workload
+
+__all__ = [
+    "ApplicationProcess",
+    "deploy_workload",
+    "deploy_hotspot_workload",
+    "ParallelismLevel",
+    "classify_rho",
+    "beta_for_rho",
+    "PAPER_ALPHA_MS",
+    "PAPER_CS_PER_PROCESS",
+    "PAPER_RHO_OVER_N_GRID",
+]

@@ -1,0 +1,114 @@
+"""Unit tests for the multi-level composition (paper §6 extension)."""
+
+import pytest
+
+from repro.core import MultilevelComposition
+from repro.errors import CompositionError
+from repro.metrics import MetricsCollector
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.sim import Simulator
+from repro.verify import MutualExclusionChecker
+from repro.workload import deploy_workload
+
+
+def build(hierarchy, algorithms, n_clusters, nodes_per_cluster, seed=0):
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(n_clusters, nodes_per_cluster)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=5.0))
+    ml = MultilevelComposition(sim, net, topo, hierarchy, algorithms)
+    return sim, topo, net, ml
+
+
+def test_two_level_spec_equivalent_layout():
+    sim, topo, net, ml = build([0, 1, 2], ["naimi", "martin"], 3, 4)
+    assert ml.depth == 1
+    assert ml.name == "naimi/martin"
+    # One coordinator per cluster, apps exclude slot 0.
+    assert len(ml.coordinators) == 3
+    assert ml.app_nodes == (1, 2, 3, 5, 6, 7, 9, 10, 11)
+
+
+def test_three_level_layout():
+    sim, topo, net, ml = build(
+        [[0, 1], [2, 3]], ["naimi", "naimi", "martin"], 4, 5
+    )
+    assert ml.depth == 2
+    assert ml.name == "naimi/naimi/martin"
+    # 4 cluster coordinators + 2 zone coordinators.
+    assert len(ml.coordinators) == 6
+    # Two slots reserved per cluster: apps start at local index 2.
+    assert 0 not in ml.app_nodes and 1 not in ml.app_nodes
+    assert 2 in ml.app_nodes
+
+
+def test_three_level_serves_all_requests_safely():
+    sim, topo, net, ml = build(
+        [[0, 1], [2, 3]], ["naimi", "naimi", "naimi"], 4, 4
+    )
+    app_set = frozenset(ml.app_nodes)
+    safety = MutualExclusionChecker(
+        sim.trace,
+        include=lambda rec: rec.node in app_set and rec.port.startswith("intra"),
+    )
+    apps, collector = deploy_workload(
+        ml, alpha_ms=2.0, rho=4.0, n_cs=5, distribution="fixed"
+    )
+    sim.run()
+    assert all(a.done for a in apps)
+    assert collector.cs_count == len(apps) * 5
+    safety.assert_quiescent()
+    assert safety.total_entries == collector.cs_count
+
+
+def test_three_level_with_mixed_algorithms():
+    sim, topo, net, ml = build(
+        [[0, 1], [2, 3]], ["suzuki", "naimi", "martin"], 4, 4
+    )
+    apps, collector = deploy_workload(ml, alpha_ms=2.0, rho=8.0, n_cs=3)
+    sim.run()
+    assert all(a.done for a in apps)
+
+
+def test_hierarchy_validation():
+    with pytest.raises(CompositionError):  # root must be a group
+        build(0, ["naimi", "naimi"], 1, 3)
+    with pytest.raises(CompositionError):  # mixed depths
+        build([0, [1, 2]], ["naimi", "naimi", "naimi"], 3, 4)
+    with pytest.raises(CompositionError):  # wrong algorithm count
+        build([[0, 1], [2, 3]], ["naimi", "naimi"], 4, 4)
+    with pytest.raises(CompositionError):  # missing cluster
+        build([0, 1], ["naimi", "naimi"], 3, 4)
+    with pytest.raises(CompositionError):  # duplicated cluster
+        build([0, 0, 1], ["naimi", "naimi"], 2, 4)
+    with pytest.raises(CompositionError):  # empty group
+        build([[], [0, 1]], ["naimi", "naimi", "naimi"], 2, 4)
+    with pytest.raises(CompositionError):  # too few nodes for slots
+        build([[0, 1]], ["naimi", "naimi", "naimi"], 2, 2)
+
+
+def test_peer_for_rejects_coordinator_slots():
+    sim, topo, net, ml = build([0, 1], ["naimi", "naimi"], 2, 3)
+    with pytest.raises(CompositionError):
+        ml.peer_for(0)
+
+
+def test_multilevel_reduces_top_level_traffic():
+    # With zones, a burst of requests inside one zone should mostly stay
+    # below the top level.  Compare top-level port traffic between a
+    # 2-level and a 3-level hierarchy over the same workload.
+    def top_traffic(hierarchy, algorithms, nodes_per_cluster):
+        sim, topo, net, ml = build(hierarchy, algorithms, 4, nodes_per_cluster)
+        apps, _ = deploy_workload(
+            ml, alpha_ms=2.0, rho=4.0, n_cs=6, distribution="fixed"
+        )
+        sim.run()
+        top_port_prefix = f"l{ml.depth}/"
+        return sum(
+            count
+            for port, count in net.stats.by_port.items()
+            if port.startswith(top_port_prefix)
+        )
+
+    flat2 = top_traffic([0, 1, 2, 3], ["naimi", "naimi"], 5)
+    zoned3 = top_traffic([[0, 1], [2, 3]], ["naimi", "naimi", "naimi"], 5)
+    assert zoned3 < flat2

@@ -1,0 +1,45 @@
+"""CLI coverage for the multilevel and adaptive system paths."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_cli_run_multilevel(capsys):
+    code = main([
+        "run", "--system", "multilevel", "--clusters", "3", "--apps", "2",
+        "--n-cs", "3", "--platform", "two-tier",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "naimi/naimi" in out
+    assert "critical sections : 18" in out
+
+
+def test_cli_run_adaptive(capsys):
+    code = main([
+        "run", "--system", "adaptive", "--clusters", "3", "--apps", "2",
+        "--n-cs", "3", "--platform", "two-tier",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+
+
+def test_cli_run_with_jitter_and_seed(capsys):
+    code = main([
+        "run", "--clusters", "2", "--apps", "2", "--n-cs", "2",
+        "--jitter", "0.3", "--seed", "7", "--platform", "two-tier",
+    ])
+    assert code == 0
+    assert "naimi-naimi" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        main(["run", "--system", "quantum"])
+
+
+def test_cli_rejects_unknown_platform():
+    with pytest.raises(SystemExit):
+        main(["run", "--platform", "ethernet"])

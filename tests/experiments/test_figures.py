@@ -1,0 +1,90 @@
+"""Unit tests for the figure generators (tiny scale — shape checks live
+in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    FigureScale,
+    fig4a,
+    fig4b,
+    fig5a,
+    fig5b,
+    fig6a,
+    fig6b,
+    scale_from_env,
+)
+from repro.experiments.figures import inter_sweep, intra_sweep
+
+TINY = FigureScale(
+    apps_per_cluster=1, n_cs=3, seeds=(0,), rho_over_n=(0.5, 4.0),
+    n_clusters=3,
+)
+
+
+def test_scales():
+    assert PAPER_SCALE.n_apps == 180
+    assert PAPER_SCALE.n_cs == 100
+    assert len(PAPER_SCALE.seeds) == 10
+    assert QUICK_SCALE.n_apps < PAPER_SCALE.n_apps
+
+
+def test_scale_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert scale_from_env() == QUICK_SCALE
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert scale_from_env() == PAPER_SCALE
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert scale_from_env() == QUICK_SCALE
+
+
+def test_inter_sweep_contains_all_curves_and_is_cached():
+    sweep = inter_sweep(TINY)
+    labels = {label for label, _ in sweep}
+    assert labels == {
+        "naimi-naimi", "naimi-martin", "naimi-suzuki", "naimi (flat)"
+    }
+    xs = {x for _, x in sweep}
+    assert xs == {0.5, 4.0}
+    assert inter_sweep(TINY) is sweep  # lru_cache hit
+
+
+def test_intra_sweep_contains_all_curves():
+    sweep = intra_sweep(TINY)
+    labels = {label for label, _ in sweep}
+    assert labels == {"naimi-naimi", "martin-naimi", "suzuki-naimi"}
+
+
+@pytest.mark.parametrize("figure_fn", [fig4a, fig4b, fig5a, fig5b])
+def test_inter_figures_structure(figure_fn):
+    data = figure_fn(TINY)
+    assert data.xs == (0.5, 4.0)
+    assert set(data.series) == {
+        "naimi-naimi", "naimi-martin", "naimi-suzuki", "naimi (flat)"
+    }
+    for values in data.series.values():
+        assert len(values) == 2
+        assert all(v >= 0.0 for v in values)
+
+
+@pytest.mark.parametrize("figure_fn", [fig6a, fig6b])
+def test_intra_figures_structure(figure_fn):
+    data = figure_fn(TINY)
+    assert set(data.series) == {
+        "naimi-naimi", "martin-naimi", "suzuki-naimi"
+    }
+
+
+def test_all_figures_registry():
+    assert set(ALL_FIGURES) == {
+        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b"
+    }
+
+
+def test_figure_to_table_renders():
+    table = fig4a(TINY).to_table()
+    assert "fig4a" in table
+    assert "rho/N" in table
+    assert "naimi-martin" in table

@@ -1,0 +1,43 @@
+"""Unit tests for the process-parallel runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentConfig, run_experiment, run_many
+from repro.experiments.parallel import run_configs_parallel, run_many_parallel
+
+CFG = ExperimentConfig(n_clusters=2, apps_per_cluster=2, n_cs=3, rho=4.0,
+                       platform="two-tier")
+
+
+def test_parallel_matches_serial_exactly():
+    serial = run_many(CFG, seeds=(0, 1))
+    parallel = run_many_parallel(CFG, seeds=(0, 1), max_workers=2)
+    assert parallel.name == serial.name
+    assert parallel.obtaining.mean == serial.obtaining.mean
+    assert parallel.obtaining.std == serial.obtaining.std
+    assert [r.total_messages for r in parallel.runs] == [
+        r.total_messages for r in serial.runs
+    ]
+
+
+def test_run_configs_parallel_preserves_order():
+    configs = [CFG.with_(seed=s) for s in (3, 1, 2)]
+    results = run_configs_parallel(configs, max_workers=2)
+    assert [r.config.seed for r in results] == [3, 1, 2]
+    for r, c in zip(results, configs):
+        assert r.total_messages == run_experiment(c).total_messages
+
+
+def test_single_worker_falls_back_to_serial():
+    results = run_configs_parallel([CFG, CFG.with_(seed=1)], max_workers=1)
+    assert len(results) == 2
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        run_configs_parallel([])
+    with pytest.raises(ConfigurationError):
+        run_many_parallel(CFG, seeds=())
+    with pytest.raises(ConfigurationError):
+        run_configs_parallel([CFG.with_(rho=-1.0)])

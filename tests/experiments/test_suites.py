@@ -1,0 +1,45 @@
+"""Unit tests for the reproduce-all suite runner."""
+
+import json
+
+import pytest
+
+from repro.experiments import FigureScale
+from repro.experiments.suites import reproduce_all
+
+TINY = FigureScale(apps_per_cluster=1, n_cs=2, seeds=(0,),
+                   rho_over_n=(0.5, 4.0), n_clusters=2)
+
+
+def test_reproduce_all_writes_artefacts(tmp_path):
+    results = reproduce_all(tmp_path, scale=TINY, figures=["fig4a", "fig4b"])
+    assert set(results) == {"fig4a", "fig4b"}
+    for figure_id in ("fig4a", "fig4b"):
+        assert (tmp_path / f"{figure_id}.txt").exists()
+        assert (tmp_path / f"{figure_id}.csv").exists()
+        doc = json.loads((tmp_path / f"{figure_id}.json").read_text())
+        assert doc["figure_id"] == figure_id
+        assert doc["xs"] == [0.5, 4.0]
+    summary = json.loads((tmp_path / "summary.json").read_text())
+    assert summary["figures"] == ["fig4a", "fig4b"]
+    assert summary["scale"]["n_apps"] == 2
+    assert set(summary["wall_seconds"]) == {"fig4a", "fig4b"}
+
+
+def test_reproduce_all_default_covers_all_figures(tmp_path):
+    results = reproduce_all(tmp_path, scale=TINY)
+    assert set(results) == {
+        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b"
+    }
+    assert len(list(tmp_path.glob("*.txt"))) == 6
+
+
+def test_reproduce_all_rejects_unknown_figure(tmp_path):
+    with pytest.raises(KeyError):
+        reproduce_all(tmp_path, scale=TINY, figures=["fig99"])
+
+
+def test_reproduce_all_creates_nested_directories(tmp_path):
+    target = tmp_path / "a" / "b"
+    reproduce_all(target, scale=TINY, figures=["fig6a"])
+    assert (target / "fig6a.csv").exists()

@@ -1,0 +1,63 @@
+"""Unit tests for the analytical cost models (§2/§4.3)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.theory import (
+    ALGORITHM_MODELS,
+    expected_messages_per_cs,
+    expected_obtaining_high_parallelism,
+    mean_inter_coordinator_delay,
+)
+from repro.grid import grid5000_latency, grid5000_topology
+from repro.net import MatrixLatency, uniform_topology
+
+
+def test_message_models_match_section2_formulas():
+    assert expected_messages_per_cs("martin", 10) == 10.0
+    assert expected_messages_per_cs("suzuki", 10) == 10.0
+    assert expected_messages_per_cs("naimi", 16) == pytest.approx(
+        math.log2(16) + 1
+    )
+    assert expected_messages_per_cs("naimi", 1) == 0.0
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ConfigurationError):
+        expected_messages_per_cs("raymond", 4)
+    with pytest.raises(ConfigurationError):
+        expected_messages_per_cs("martin", 0)
+    with pytest.raises(ConfigurationError):
+        expected_obtaining_high_parallelism(
+            "zookeeper", uniform_topology(2, 2), None
+        )
+
+
+def test_mean_inter_coordinator_delay_uniform_matrix():
+    topo = uniform_topology(3, 2)
+    latency = MatrixLatency(topo, [[0.1, 8.0, 8.0],
+                                   [8.0, 0.1, 8.0],
+                                   [8.0, 8.0, 0.1]])
+    assert mean_inter_coordinator_delay(topo, latency) == pytest.approx(4.0)
+
+
+def test_mean_delay_single_cluster_is_zero():
+    topo = uniform_topology(1, 3)
+    latency = MatrixLatency(topo, [[0.1]])
+    assert mean_inter_coordinator_delay(topo, latency) == 0.0
+
+
+def test_obtaining_model_ordering_on_grid5000():
+    topo = grid5000_topology(nodes_per_cluster=2)
+    latency = grid5000_latency(topo)
+    values = {
+        inter: expected_obtaining_high_parallelism(inter, topo, latency)
+        for inter in ALGORITHM_MODELS
+    }
+    # Suzuki: 2T; Naimi: (log2(9)+1)T; Martin: 9T.
+    assert values["suzuki"] < values["naimi"] < values["martin"]
+    t = mean_inter_coordinator_delay(topo, latency)
+    assert values["suzuki"] == pytest.approx(2 * t)
+    assert values["martin"] == pytest.approx(9 * t)

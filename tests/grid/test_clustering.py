@@ -1,0 +1,94 @@
+"""Unit tests for latency-derived hierarchy zones."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.grid import GRID5000_RTT_MS, GRID5000_SITES, derive_zones, zone_spread
+
+
+def site(name):
+    return GRID5000_SITES.index(name)
+
+
+def test_zones_partition_sites():
+    zones = derive_zones(GRID5000_RTT_MS, 3)
+    flat = sorted(s for z in zones for s in z)
+    assert flat == list(range(9))
+    assert len(zones) == 3
+
+
+def test_grid5000_close_pairs_land_together():
+    # The two famously close pairs of the paper's matrix.
+    zones = derive_zones(GRID5000_RTT_MS, 4)
+    zone_of = {s: i for i, z in enumerate(zones) for s in z}
+    assert zone_of[site("toulouse")] == zone_of[site("bordeaux")]  # 3.1 ms
+    assert zone_of[site("grenoble")] == zone_of[site("lyon")]      # 3.3 ms
+
+
+def test_extreme_zone_counts():
+    assert derive_zones(GRID5000_RTT_MS, 1) == [list(range(9))]
+    assert derive_zones(GRID5000_RTT_MS, 9) == [[i] for i in range(9)]
+
+
+def test_zone_count_validation():
+    with pytest.raises(TopologyError):
+        derive_zones(GRID5000_RTT_MS, 0)
+    with pytest.raises(TopologyError):
+        derive_zones(GRID5000_RTT_MS, 10)
+    with pytest.raises(TopologyError):
+        derive_zones([[0.0, 1.0]], 1)  # not square
+
+
+def test_zones_are_latency_coherent():
+    zones = derive_zones(GRID5000_RTT_MS, 3)
+    spread = zone_spread(GRID5000_RTT_MS, zones)
+    assert spread["intra_mean_ms"] < spread["inter_mean_ms"]
+    assert spread["separation"] > 1.0
+
+
+def test_derived_zoning_beats_arbitrary_zoning():
+    derived = derive_zones(GRID5000_RTT_MS, 3)
+    arbitrary = [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+    assert (
+        zone_spread(GRID5000_RTT_MS, derived)["separation"]
+        > zone_spread(GRID5000_RTT_MS, arbitrary)["separation"]
+    )
+
+
+def test_zone_spread_validation():
+    with pytest.raises(TopologyError):
+        zone_spread(GRID5000_RTT_MS, [[0, 1], [1, 2]])  # overlap
+    with pytest.raises(TopologyError):
+        zone_spread(GRID5000_RTT_MS, [[0, 1, 2]])  # missing sites
+
+
+def test_zones_feed_multilevel_composition():
+    from repro.core import MultilevelComposition
+    from repro.grid import grid5000_latency, grid5000_topology
+    from repro.net import Network
+    from repro.sim import Simulator
+    from repro.workload import deploy_workload
+
+    zones = derive_zones(GRID5000_RTT_MS, 3)
+    sim = Simulator(seed=0)
+    topo = grid5000_topology(nodes_per_cluster=3)  # 2 slots + 1 app
+    net = Network(sim, topo, grid5000_latency(topo))
+    ml = MultilevelComposition(
+        sim, net, topo, zones, ["naimi", "naimi", "naimi"]
+    )
+    apps, collector = deploy_workload(ml, alpha_ms=5.0, rho=9.0, n_cs=4)
+    sim.run(until=10_000_000.0)
+    assert all(a.done for a in apps)
+    assert collector.cs_count == len(apps) * 4
+
+
+def test_symmetric_synthetic_matrix_two_blocks():
+    # Two obvious latency islands.
+    m = np.full((6, 6), 50.0)
+    for block in ([0, 1, 2], [3, 4, 5]):
+        for i in block:
+            for j in block:
+                m[i, j] = 2.0
+    np.fill_diagonal(m, 0.0)
+    assert derive_zones(m, 2) == [[0, 1, 2], [3, 4, 5]]

@@ -1,0 +1,112 @@
+"""Shared test harness: drives a set of mutex peers through scripted
+critical-section cycles on a simulated network, with safety and liveness
+checkers attached."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mutex import get_algorithm
+from repro.net import ConstantLatency, Network, uniform_topology
+from repro.net.faults import FaultInjector
+from repro.sim import Simulator
+from repro.verify import LivenessChecker, MutualExclusionChecker
+
+PORT = "mutex"
+
+
+class PeerDriver:
+    """Hosts ``n`` peers of one algorithm on a flat single-cluster network.
+
+    Each granted CS is held for ``cs_time`` ms, then released
+    automatically.  ``entries`` records the order in which peers entered
+    the CS.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "naimi",
+        n: int = 5,
+        latency_ms: float = 1.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+        cs_time: float = 1.0,
+        initial_holder: Optional[int] = None,
+        fifo: bool = False,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.topology = uniform_topology(1, n)
+        self.net = Network(
+            self.sim,
+            self.topology,
+            ConstantLatency(latency_ms, jitter=jitter),
+            fifo=fifo,
+            faults=faults,
+        )
+        self.cs_time = cs_time
+        self.safety = MutualExclusionChecker.for_port(self.sim.trace, PORT)
+        self.liveness = LivenessChecker(self.sim.trace)
+        info = get_algorithm(algorithm)
+        self.peers = [
+            info.peer_class(
+                self.sim, self.net, node, range(n), PORT,
+                initial_holder=initial_holder,
+            )
+            for node in range(n)
+        ]
+        #: (time, node) for every CS entry, in order
+        self.entries: List[Tuple[float, int]] = []
+        #: remaining scripted request cycles per node
+        self._cycles: Dict[int, int] = {}
+        self._think: Dict[int, float] = {}
+        for peer in self.peers:
+            peer.on_granted.append(self._make_grant_handler(peer))
+
+    # ------------------------------------------------------------------ #
+    def _make_grant_handler(self, peer):
+        def handler():
+            self.entries.append((self.sim.now, peer.node))
+            self.sim.schedule(self.cs_time, self._release, peer)
+
+        return handler
+
+    def _release(self, peer) -> None:
+        peer.release_cs()
+        remaining = self._cycles.get(peer.node, 0)
+        if remaining > 0:
+            self._cycles[peer.node] = remaining - 1
+            think = self._think.get(peer.node, 0.0)
+            self.sim.schedule(think, peer.request_cs)
+
+    # ------------------------------------------------------------------ #
+    def request(self, node: int, at: float = 0.0) -> None:
+        """Schedule a single CS request by ``node`` at absolute time ``at``."""
+        self.sim.schedule_at(at, self.peers[node].request_cs)
+
+    def cycle(self, node: int, times: int, think: float = 0.0, at: float = 0.0) -> None:
+        """Schedule ``times`` request/hold/release cycles for ``node``."""
+        if times <= 0:
+            return
+        self._cycles[node] = times - 1
+        self._think[node] = think
+        self.request(node, at)
+
+    def run(self, until: Optional[float] = None) -> "PeerDriver":
+        self.sim.run(until=until)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def check(self) -> "PeerDriver":
+        """End-of-run correctness assertions (safety + liveness + quiescence)."""
+        self.safety.assert_quiescent()
+        self.liveness.assert_all_satisfied()
+        return self
+
+    @property
+    def entry_order(self) -> List[int]:
+        return [node for _, node in self.entries]
+
+    @property
+    def messages(self) -> int:
+        return self.net.stats.total

@@ -1,0 +1,99 @@
+"""Unit tests for metric records, summaries and pooling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    CSRecord,
+    MetricsCollector,
+    SummaryStats,
+    pooled,
+    summarize,
+)
+
+
+def rec(node=0, cluster=0, req=0.0, grant=1.0, rel=2.0):
+    return CSRecord(node, cluster, req, grant, rel)
+
+
+def test_cs_record_derived_metrics():
+    r = rec(req=5.0, grant=8.0, rel=18.0)
+    assert r.obtaining_time == 3.0
+    assert r.cs_duration == 10.0
+
+
+def test_cs_record_rejects_inconsistent_timestamps():
+    with pytest.raises(ValueError):
+        rec(req=5.0, grant=4.0, rel=6.0)
+    with pytest.raises(ValueError):
+        rec(req=1.0, grant=2.0, rel=1.5)
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == 2.5
+    assert s.std == pytest.approx(np.std([1, 2, 3, 4]))
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.p50 == 2.5
+    assert s.relative_std == pytest.approx(s.std / 2.5)
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s.count == 0
+    assert s.mean == 0.0
+    assert s.relative_std == 0.0
+
+
+def test_pooled_matches_concatenation():
+    rng = np.random.default_rng(1)
+    a = rng.exponential(10.0, 100).tolist()
+    b = rng.exponential(3.0, 57).tolist()
+    c = rng.normal(20.0, 5.0, 23).tolist()
+    combined = summarize(a + b + c)
+    piecewise = pooled([summarize(a), summarize(b), summarize(c)])
+    assert piecewise.count == combined.count
+    assert piecewise.mean == pytest.approx(combined.mean)
+    assert piecewise.std == pytest.approx(combined.std)
+    assert piecewise.minimum == combined.minimum
+    assert piecewise.maximum == combined.maximum
+
+
+def test_pooled_skips_empty_and_handles_all_empty():
+    s = summarize([5.0])
+    assert pooled([summarize([]), s]).count == 1
+    assert pooled([]).count == 0
+    assert pooled([summarize([])]).count == 0
+
+
+def test_collector_aggregations():
+    c = MetricsCollector()
+    c.add(rec(node=1, cluster=0, req=0.0, grant=2.0, rel=3.0))
+    c.add(rec(node=2, cluster=1, req=0.0, grant=6.0, rel=9.0))
+    c.add(rec(node=1, cluster=0, req=10.0, grant=14.0, rel=15.0))
+    assert c.cs_count == 3
+    assert c.obtaining_times() == [2.0, 6.0, 4.0]
+    assert c.obtaining_stats().mean == 4.0
+    by_cluster = c.by_cluster()
+    assert set(by_cluster) == {0, 1}
+    assert by_cluster[0].count == 2
+    assert by_cluster[0].mean == 3.0
+    by_node = c.by_node()
+    assert by_node[1].count == 2
+    assert c.completion_time() == 15.0
+
+
+def test_collector_empty():
+    c = MetricsCollector()
+    assert c.cs_count == 0
+    assert c.completion_time() == 0.0
+    assert c.obtaining_stats().count == 0
+
+
+def test_summary_str_renders():
+    s = summarize([1.0, 2.0])
+    text = str(s)
+    assert "mean=1.500ms" in text and "σ_r" in text

@@ -1,0 +1,35 @@
+"""Unit tests for the text-report helpers."""
+
+from repro.metrics import format_matrix, format_series_table, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "value"], [["x", 1.23456], ["longer", 2.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) <= {"-", "+"}
+    assert "1.235" in lines[2]
+    # All rows share one width.
+    assert len({len(l) for l in lines}) == 1
+
+
+def test_format_table_custom_float_format():
+    text = format_table(["v"], [[3.14159]], float_fmt="{:.1f}")
+    assert "3.1" in text and "3.14" not in text
+
+
+def test_format_series_table_layout():
+    text = format_series_table(
+        "rho", [1.0, 2.0], {"a": [10.0, 20.0], "b": [30.0, 40.0]}
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("rho")
+    assert "a" in lines[0] and "b" in lines[0]
+    assert "10.000" in lines[2] and "40.000" in lines[3]
+
+
+def test_format_matrix_labels():
+    text = format_matrix(["x", "y"], [[0.0, 1.0], [2.0, 3.0]])
+    assert "from\\to" in text
+    assert text.count("x") >= 2  # row and column label

@@ -1,0 +1,115 @@
+"""Unit tests for the timeline recorder and the fairness metrics."""
+
+import pytest
+
+from repro.core import Composition, FlatMutex
+from repro.metrics import MetricsCollector, TimelineRecorder, jain_index
+from repro.metrics.records import CSRecord
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.sim import Simulator
+from repro.workload import deploy_workload
+
+
+# --------------------------------------------------------------------- #
+# jain_index
+# --------------------------------------------------------------------- #
+def test_jain_index_equal_values_is_one():
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_index_single_winner_is_one_over_n():
+    assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jain_index_monotone_in_imbalance():
+    assert jain_index([1, 1, 1, 1]) > jain_index([1, 1, 1, 3]) > \
+        jain_index([1, 1, 1, 9])
+
+
+def test_jain_index_edge_cases():
+    assert jain_index([]) == 1.0
+    assert jain_index([0.0, 0.0]) == 1.0
+
+
+def test_collector_fairness_keys_and_empty():
+    c = MetricsCollector()
+    f = c.fairness()
+    assert f == {"obtaining_jain": 1.0, "worst_over_best": 1.0}
+    c.add(CSRecord(1, 0, 0.0, 2.0, 3.0))
+    c.add(CSRecord(2, 0, 0.0, 4.0, 5.0))
+    f = c.fairness()
+    assert 0.0 < f["obtaining_jain"] <= 1.0
+    assert f["worst_over_best"] == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------- #
+# TimelineRecorder
+# --------------------------------------------------------------------- #
+def run_with_timeline(system_kind, seed=0):
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(3, 4)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=8.0))
+    if system_kind == "composition":
+        system = Composition(sim, net, topo, intra="naimi", inter="naimi")
+    else:
+        system = FlatMutex(sim, net, topo, algorithm="naimi")
+    timeline = TimelineRecorder(sim.trace, topo, system.app_nodes)
+    apps, collector = deploy_workload(
+        system, alpha_ms=4.0, rho=6.0, n_cs=6
+    )
+    sim.run()
+    assert all(a.done for a in apps)
+    return timeline, collector
+
+
+def test_timeline_records_every_cs():
+    timeline, collector = run_with_timeline("composition")
+    assert len(timeline.intervals) == collector.cs_count
+    for start, end, node, cluster in timeline.intervals:
+        assert end > start
+        assert cluster in (0, 1, 2)
+
+
+def test_entry_clusters_ordering():
+    timeline, collector = run_with_timeline("composition")
+    clusters = timeline.entry_clusters()
+    assert len(clusters) == collector.cs_count
+    assert set(clusters) == {0, 1, 2}
+
+
+def test_cluster_runs_reconstruct_entries():
+    timeline, _ = run_with_timeline("composition")
+    runs = timeline.cluster_runs()
+    assert sum(length for _, length in runs) == len(timeline.entry_clusters())
+    # Runs alternate clusters by construction.
+    for (a, _), (b, _) in zip(runs, runs[1:]):
+        assert a != b
+
+
+def test_composition_batches_local_requests():
+    comp, _ = run_with_timeline("composition")
+    flat, _ = run_with_timeline("flat")
+    # The composition holds the inter token while a cluster drains its
+    # local queue, so consecutive entries stay in one cluster far more
+    # often than under the flat algorithm.
+    assert comp.locality_ratio() > flat.locality_ratio()
+
+
+def test_render_gantt():
+    timeline, _ = run_with_timeline("composition")
+    art = timeline.render(width=40)
+    lines = art.splitlines()
+    assert len(lines) == 4  # header + 3 clusters
+    assert "#" in art
+    assert "CS occupancy" in lines[0]
+    # All cluster rows share the same width.
+    assert len({len(l) for l in lines[1:]}) == 1
+
+
+def test_render_empty():
+    sim = Simulator(seed=0)
+    topo = uniform_topology(2, 2)
+    t = TimelineRecorder(sim.trace, topo, [1, 3])
+    assert "no critical sections" in t.render()
+    assert t.locality_ratio() == 1.0
+    assert t.cluster_runs() == []

@@ -1,0 +1,132 @@
+"""Unit tests for Maekawa's quorum algorithm."""
+
+import math
+
+import pytest
+
+from repro.mutex import grid_quorums
+from repro.verify import assert_all_idle
+
+from ..helpers import PeerDriver
+
+
+def driver(**kw):
+    kw.setdefault("algorithm", "maekawa")
+    return PeerDriver(**kw)
+
+
+# --------------------------------------------------------------------- #
+# quorum construction
+# --------------------------------------------------------------------- #
+def test_quorums_contain_owner():
+    for n in (1, 2, 3, 4, 7, 9, 12, 16):
+        quorums = grid_quorums(list(range(n)))
+        for peer, quorum in quorums.items():
+            assert peer in quorum
+
+
+def test_quorums_pairwise_intersect():
+    for n in (2, 3, 4, 5, 9, 10, 16, 20):
+        quorums = grid_quorums(list(range(n)))
+        peers = list(quorums)
+        for a in peers:
+            for b in peers:
+                assert set(quorums[a]) & set(quorums[b]), (n, a, b)
+
+
+def test_quorum_size_is_order_sqrt_n():
+    n = 25
+    quorums = grid_quorums(list(range(n)))
+    for quorum in quorums.values():
+        assert len(quorum) <= 2 * math.ceil(math.sqrt(n))
+
+
+def test_quorums_work_with_arbitrary_peer_ids():
+    quorums = grid_quorums([10, 20, 30, 40])
+    assert set(quorums) == {10, 20, 30, 40}
+    assert all(q for q in quorums.values())
+
+
+# --------------------------------------------------------------------- #
+# protocol behaviour
+# --------------------------------------------------------------------- #
+def test_single_requester_enters():
+    d = driver(n=9)
+    d.request(4)
+    d.run().check()
+    assert d.entry_order == [4]
+
+
+def test_uncontended_message_cost_is_3_quorum():
+    n = 9
+    d = driver(n=n)
+    d.request(4)
+    d.run().check()
+    q = len(grid_quorums(list(range(n)))[4]) - 1  # remote quorum members
+    assert d.messages == 3 * q  # request + locked + release
+
+
+def test_two_concurrent_requesters_serialise():
+    d = driver(n=9, cs_time=5.0)
+    d.request(0, at=0.0)
+    d.request(8, at=0.0)  # disjoint grid corners, intersecting quorums
+    d.run().check()
+    assert sorted(d.entry_order) == [0, 8]
+
+
+def test_all_concurrent_requesters_served():
+    n = 9
+    d = driver(n=n, cs_time=1.0)
+    for node in range(n):
+        d.request(node, at=0.0)
+    d.run().check()
+    assert sorted(d.entry_order) == list(range(n))
+    assert_all_idle(d.peers)
+
+
+def test_oldest_request_wins_contention():
+    d = driver(n=9, cs_time=5.0, latency_ms=2.0)
+    d.request(7, at=0.0)
+    d.request(2, at=0.5)  # strictly younger
+    d.run().check()
+    assert d.entry_order == [7, 2]
+
+
+def test_repeated_cycles_stress():
+    n, cycles = 6, 8
+    d = driver(n=n, cs_time=0.5)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.3)
+    d.run().check()
+    assert len(d.entries) == n * cycles
+    assert_all_idle(d.peers)
+
+
+def test_stress_with_jitter_reordering():
+    n, cycles = 5, 6
+    d = driver(n=n, cs_time=0.5, jitter=0.6, seed=3)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.2)
+    d.run().check()
+    assert len(d.entries) == n * cycles
+
+
+def test_pending_notification_fires_while_in_cs():
+    d = driver(n=4, cs_time=50.0)
+    notified = []
+    d.peers[0].on_pending_request.append(lambda: notified.append(d.sim.now))
+    d.request(0, at=0.0)
+    d.request(1, at=10.0)  # arrives while 0 is in the CS
+    d.run().check()
+    assert notified
+
+
+def test_composes_as_intra_and_inter():
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    for intra, inter in (("maekawa", "naimi"), ("naimi", "maekawa")):
+        r = run_experiment(ExperimentConfig(
+            intra=intra, inter=inter, n_clusters=3, apps_per_cluster=3,
+            n_cs=5, rho=4.5,
+        ))
+        assert r.cs_count == 45, (intra, inter)

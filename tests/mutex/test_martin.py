@@ -1,0 +1,152 @@
+"""Unit tests for Martin's ring algorithm."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mutex import MartinPeer, PeerState
+from repro.verify import (
+    assert_all_idle,
+    assert_consistent_ring,
+    assert_single_token,
+)
+
+from ..helpers import PeerDriver
+
+
+def driver(**kw):
+    kw.setdefault("algorithm", "martin")
+    return PeerDriver(**kw)
+
+
+def test_ring_pointers():
+    d = driver(n=4)
+    assert_consistent_ring(d.peers)
+    assert d.peers[0].successor == 1
+    assert d.peers[0].predecessor == 3
+    assert d.peers[3].successor == 0
+
+
+def test_initial_holder_default_and_custom():
+    d = driver(n=3)
+    assert d.peers[0].holds_token
+    assert not d.peers[1].holds_token
+    d2 = driver(n=3, initial_holder=2)
+    assert d2.peers[2].holds_token
+
+
+def test_holder_enters_without_messages():
+    d = driver(n=4)
+    d.request(0)
+    d.run().check()
+    assert d.entry_order == [0]
+    assert d.messages == 0
+
+
+def test_remote_request_travels_ring():
+    # Holder is 0; node 2 requests: request travels 2->3->0 (2 msgs),
+    # token travels 0->3->2 (2 msgs) = 2*(x+1) with x=1.
+    d = driver(n=4)
+    d.request(2)
+    d.run().check()
+    assert d.entry_order == [2]
+    assert d.messages == 4
+    assert d.peers[2].holds_token
+    assert not d.peers[0].holds_token
+
+
+def test_message_count_formula():
+    # x nodes between requester and holder -> 2(x+1) messages.
+    for n, requester, expected in [(5, 4, 2), (5, 3, 4), (5, 1, 8)]:
+        d = driver(n=n)
+        d.request(requester)
+        d.run().check()
+        assert d.messages == expected, (n, requester)
+
+
+def test_request_while_holder_in_cs_is_deferred():
+    d = driver(n=3, cs_time=50.0)
+    d.request(0, at=0.0)
+    d.request(2, at=1.0)  # arrives while 0 still in CS
+    d.run().check()
+    assert d.entry_order == [0, 2]
+    assert_single_token(d.peers)
+
+
+def test_concurrent_requesters_all_served_once():
+    n = 6
+    d = driver(n=n, cs_time=2.0)
+    for node in range(n):
+        d.request(node, at=0.0)
+    d.run().check()
+    assert sorted(d.entry_order) == list(range(n))
+    assert len(d.entries) == n
+    assert_all_idle(d.peers)
+    assert_single_token(d.peers)
+
+
+def test_pipelined_requests_absorbed_by_requesting_node():
+    # 1 and 2 both request; 2's request reaches 3 and travels to 0;
+    # 1's request stops at 2 (which is requesting). One token pass
+    # serves both in ring order.
+    d = driver(n=4, cs_time=1.0)
+    d.request(2, at=0.0)
+    d.request(1, at=0.0)
+    d.run().check()
+    assert sorted(d.entry_order) == [1, 2]
+
+
+def test_repeated_cycles_stress():
+    n, cycles = 5, 8
+    d = driver(n=n, cs_time=0.5)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.3)
+    d.run().check()
+    assert len(d.entries) == n * cycles
+    assert_all_idle(d.peers)
+    assert_single_token(d.peers)
+
+
+def test_pending_notification_fires_for_holder_in_cs():
+    d = driver(n=3, cs_time=50.0)
+    notified = []
+    d.peers[0].on_pending_request.append(lambda: notified.append(d.sim.now))
+    d.request(0, at=0.0)
+    d.request(1, at=1.0)
+    d.run().check()
+    assert len(notified) == 1
+    assert d.peers[0].has_pending_request is False  # discharged by then
+
+
+def test_double_request_rejected():
+    d = driver(n=3)
+    d.peers[1].request_cs()
+    with pytest.raises(ProtocolError):
+        d.peers[1].request_cs()
+
+
+def test_release_without_cs_rejected():
+    d = driver(n=3)
+    with pytest.raises(ProtocolError):
+        d.peers[1].release_cs()
+
+
+def test_state_transitions():
+    d = driver(n=3, cs_time=10.0)
+    p = d.peers[2]
+    assert p.state is PeerState.NO_REQ
+    d.request(2, at=0.0)
+    d.sim.run(until=0.5)
+    assert p.state is PeerState.REQ
+    d.sim.run(until=5.0)
+    assert p.state is PeerState.CS
+    d.run().check()
+    assert p.state is PeerState.NO_REQ
+
+
+def test_two_peers_minimal_ring():
+    d = driver(n=2, cs_time=1.0)
+    d.cycle(0, 3, think=0.2)
+    d.cycle(1, 3, think=0.2)
+    d.run().check()
+    assert len(d.entries) == 6
+    assert_single_token(d.peers)

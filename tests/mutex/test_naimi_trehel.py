@@ -1,0 +1,162 @@
+"""Unit tests for Naimi-Tréhel's tree algorithm."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mutex import NaimiTrehelPeer, PeerState
+from repro.verify import assert_all_idle, assert_single_token
+
+from ..helpers import PeerDriver
+
+
+def driver(**kw):
+    kw.setdefault("algorithm", "naimi")
+    return PeerDriver(**kw)
+
+
+def test_initial_tree_points_at_holder():
+    d = driver(n=4)
+    assert d.peers[0].holds_token
+    assert d.peers[0].is_root
+    for p in d.peers[1:]:
+        assert p.last == 0
+        assert not p.holds_token
+        assert p.next is None
+
+
+def test_holder_enters_without_messages():
+    d = driver(n=4)
+    d.request(0)
+    d.run().check()
+    assert d.entry_order == [0]
+    assert d.messages == 0
+
+
+def test_direct_grant_from_idle_root():
+    # 1 asks the root 0 directly: 1 request + 1 token = 2 messages.
+    d = driver(n=4)
+    d.request(1)
+    d.run().check()
+    assert d.entry_order == [1]
+    assert d.messages == 2
+    # Path reversal: 0 now points at 1, 1 is the new root.
+    assert d.peers[0].last == 1
+    assert d.peers[1].is_root
+    assert d.peers[1].holds_token
+
+
+def test_path_reversal_shortens_paths():
+    # Sequential requests: each requester becomes the root, so the next
+    # request reaches it in few hops.
+    d = driver(n=5, cs_time=0.5)
+    d.request(1, at=0.0)
+    d.request(2, at=10.0)
+    d.request(3, at=20.0)
+    d.run().check()
+    assert d.entry_order == [1, 2, 3]
+    # After all that, lasts eventually converge toward recent owners.
+    assert d.peers[3].holds_token
+    assert d.peers[2].last == 3
+
+
+def test_request_while_root_in_cs_sets_next():
+    d = driver(n=3, cs_time=50.0)
+    d.request(0, at=0.0)
+    d.request(2, at=1.0)
+    d.sim.run(until=10.0)
+    assert d.peers[0].next == 2
+    assert d.peers[0].has_pending_request
+    d.run().check()
+    assert d.entry_order == [0, 2]
+
+
+def test_distributed_next_queue_fifo_under_constant_latency():
+    # With uniform latency the next-queue serves requests in the order
+    # they reach the root chain.
+    d = driver(n=5, cs_time=5.0)
+    d.request(1, at=0.0)
+    d.request(2, at=0.5)
+    d.request(3, at=1.0)
+    d.run().check()
+    assert d.entry_order == [1, 2, 3]
+
+
+def test_concurrent_requesters_all_served_once():
+    n = 7
+    d = driver(n=n, cs_time=1.0)
+    for node in range(1, n):
+        d.request(node, at=0.0)
+    d.run().check()
+    assert sorted(d.entry_order) == list(range(1, n))
+    assert_all_idle(d.peers)
+    assert_single_token(d.peers)
+
+
+def test_repeated_cycles_stress():
+    n, cycles = 6, 10
+    d = driver(n=n, cs_time=0.4)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.2)
+    d.run().check()
+    assert len(d.entries) == n * cycles
+    assert_all_idle(d.peers)
+    assert_single_token(d.peers)
+
+
+def test_pending_notification_fires_for_root_in_cs():
+    d = driver(n=3, cs_time=50.0)
+    notified = []
+    d.peers[0].on_pending_request.append(lambda: notified.append(d.sim.now))
+    d.request(0, at=0.0)
+    d.request(1, at=1.0)
+    d.run().check()
+    assert len(notified) == 1
+
+
+def test_second_token_raises():
+    d = driver(n=3)
+    d.request(1, at=0.0)
+    d.run().check()
+    # Forge a rogue token at the now-holder 1.
+    d.net.send(0, 1, "mutex", "token")
+    with pytest.raises(ProtocolError):
+        d.sim.run()
+
+
+def test_token_in_bad_state_raises():
+    d = driver(n=3)
+    # Node 2 never requested; send it a token out of the blue.
+    d.net.send(0, 2, "mutex", "token")
+    with pytest.raises(ProtocolError):
+        d.sim.run()
+
+
+def test_unknown_message_kind_raises():
+    d = driver(n=3)
+    d.net.send(0, 1, "mutex", "bogus")
+    with pytest.raises(ProtocolError):
+        d.sim.run()
+
+
+def test_message_complexity_scales_logarithmically():
+    # Average messages per CS should stay far below N for large N under
+    # high contention (the tree keeps paths short).
+    n, cycles = 32, 3
+    d = driver(n=n, cs_time=0.2)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.1)
+    d.run().check()
+    per_cs = d.messages / len(d.entries)
+    assert len(d.entries) == n * cycles
+    # Generous bound: log2(32)=5; ring/broadcast would be ~16-32.
+    assert per_cs < 8.0
+
+
+def test_peer_validation():
+    d = driver(n=3)
+    with pytest.raises(ProtocolError):
+        NaimiTrehelPeer(d.sim, d.net, 99, range(3), "other")  # not in peers
+    with pytest.raises(ProtocolError):
+        NaimiTrehelPeer(d.sim, d.net, 0, [0, 0, 1], "other2")  # duplicates
+    with pytest.raises(ProtocolError):
+        NaimiTrehelPeer(d.sim, d.net, 0, [0, 1], "other3", initial_holder=9)

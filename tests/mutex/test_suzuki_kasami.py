@@ -1,0 +1,165 @@
+"""Unit tests for Suzuki-Kasami's broadcast algorithm."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mutex import PeerState, SuzukiKasamiPeer
+from repro.verify import assert_all_idle, assert_single_token
+
+from ..helpers import PeerDriver
+
+
+def driver(**kw):
+    kw.setdefault("algorithm", "suzuki")
+    return PeerDriver(**kw)
+
+
+def test_initial_token_at_holder():
+    d = driver(n=4)
+    p0 = d.peers[0]
+    assert p0.holds_token
+    assert p0.ln == {0: 0, 1: 0, 2: 0, 3: 0}
+    assert list(p0.queue) == []
+    assert d.peers[1].ln is None
+
+
+def test_holder_enters_without_messages():
+    d = driver(n=4)
+    d.request(0)
+    d.run().check()
+    assert d.entry_order == [0]
+    assert d.messages == 0
+
+
+def test_remote_request_costs_n_messages():
+    # N-1 broadcast requests + 1 token = N messages.
+    for n in (3, 5, 8):
+        d = driver(n=n)
+        d.request(1)
+        d.run().check()
+        assert d.entry_order == [1]
+        assert d.messages == n
+
+
+def test_sequence_numbers_advance():
+    # Alternate requesters so the token keeps moving and every request
+    # must be broadcast (a peer already holding the token enters the CS
+    # without broadcasting, so its RN entry does not advance).
+    d = driver(n=3, cs_time=0.5)
+    for k in range(3):
+        d.request(1, at=20.0 * k)
+        d.request(2, at=20.0 * k + 10.0)
+    d.run().check()
+    for peer in d.peers:
+        assert peer.rn[1] == 3
+        assert peer.rn[2] == 3
+    holder = next(p for p in d.peers if p.holds_token)
+    assert holder.ln[1] == 3 and holder.ln[2] == 3
+
+
+def test_outdated_request_ignored():
+    d = driver(n=3)
+    d.request(1, at=0.0)
+    d.run().check()
+    before = d.messages
+    # Replay node 1's old request (seq=1 already satisfied).
+    d.net.send(1, 0, "mutex", "request", {"origin": 1, "seq": 1})
+    d.run()
+    # No token moved: node 0 ignored the stale request.
+    assert d.peers[1].holds_token
+    assert d.messages == before + 1  # only the forged request itself
+
+
+def test_request_while_holder_in_cs_queued_on_release():
+    d = driver(n=4, cs_time=20.0)
+    d.request(0, at=0.0)
+    d.request(2, at=1.0)
+    d.request(3, at=2.0)
+    d.run().check()
+    assert d.entry_order == [0, 2, 3]
+    assert_single_token(d.peers)
+
+
+def test_token_queue_appends_in_peer_order():
+    # Suzuki's documented unfairness: release appends pending requesters
+    # in *peer id order*, not arrival order.
+    d = driver(n=5, cs_time=20.0)
+    d.request(0, at=0.0)
+    d.request(4, at=1.0)  # asked first
+    d.request(2, at=2.0)  # asked second
+    d.run().check()
+    assert d.entry_order == [0, 2, 4]  # id order, not arrival order
+
+
+def test_concurrent_requesters_all_served_once():
+    n = 6
+    d = driver(n=n, cs_time=1.0)
+    for node in range(n):
+        d.request(node, at=0.0)
+    d.run().check()
+    assert sorted(d.entry_order) == list(range(n))
+    assert_all_idle(d.peers)
+    assert_single_token(d.peers)
+
+
+def test_repeated_cycles_stress():
+    n, cycles = 5, 10
+    d = driver(n=n, cs_time=0.3)
+    for node in range(n):
+        d.cycle(node, cycles, think=0.2)
+    d.run().check()
+    assert len(d.entries) == n * cycles
+    assert_all_idle(d.peers)
+    assert_single_token(d.peers)
+
+
+def test_pending_notification_fires_for_holder_in_cs():
+    d = driver(n=3, cs_time=50.0)
+    notified = []
+    d.peers[0].on_pending_request.append(lambda: notified.append(d.sim.now))
+    d.request(0, at=0.0)
+    d.request(1, at=1.0)
+    d.run().check()
+    assert notified  # at least one notification
+    assert notified[0] == pytest.approx(2.0)  # request's one-way latency
+
+
+def test_has_pending_request_reflects_rn_ln_gap():
+    d = driver(n=3, cs_time=50.0)
+    d.request(0, at=0.0)
+    d.request(1, at=1.0)
+    d.sim.run(until=10.0)
+    assert d.peers[0].has_pending_request
+    d.run().check()
+    assert not d.peers[1].has_pending_request or d.peers[1].holds_token
+
+
+def test_token_message_size_scales_with_n():
+    from repro.net import DEFAULT_MESSAGE_SIZE
+
+    def token_bytes(n):
+        d = driver(n=n)
+        d.request(1)
+        d.run().check()
+        # One token message; subtract the n-1 fixed-size requests.
+        return d.net.stats.bytes_total - DEFAULT_MESSAGE_SIZE * (n - 1)
+
+    # Token carries LN (one entry per peer): token size grows with N
+    # (the paper's §4.7 scalability argument against flat Suzuki).
+    assert token_bytes(30) > token_bytes(3)
+
+
+def test_second_token_raises():
+    d = driver(n=3)
+    d.request(1, at=0.0)
+    d.run().check()
+    d.net.send(0, 1, "mutex", "token", {"ln": {0: 0, 1: 1, 2: 0}, "queue": []})
+    with pytest.raises(ProtocolError):
+        d.sim.run()
+
+
+def test_token_in_bad_state_raises():
+    d = driver(n=3)
+    d.net.send(0, 2, "mutex", "token", {"ln": {0: 0, 1: 0, 2: 0}, "queue": []})
+    with pytest.raises(ProtocolError):
+        d.sim.run()

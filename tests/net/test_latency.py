@@ -1,0 +1,81 @@
+"""Unit tests for latency models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    LOCAL_DELIVERY_MS,
+    ConstantLatency,
+    MatrixLatency,
+    TwoTierLatency,
+    uniform_topology,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def test_constant_latency():
+    model = ConstantLatency(5.0)
+    assert model.one_way(0, 1, RNG) == 5.0
+    assert model.one_way(1, 0, RNG) == 5.0
+    assert model.one_way(2, 2, RNG) == LOCAL_DELIVERY_MS
+    assert model.rtt(0, 1, RNG) == 10.0
+
+
+def test_constant_latency_negative_rejected():
+    with pytest.raises(NetworkError):
+        ConstantLatency(-1.0)
+
+
+def test_two_tier_latency_hierarchy():
+    topo = uniform_topology(2, 3)
+    model = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0)
+    assert model.one_way(0, 1, RNG) == 0.1  # same cluster
+    assert model.one_way(0, 3, RNG) == 10.0  # different clusters
+    assert model.one_way(4, 4, RNG) == LOCAL_DELIVERY_MS
+
+
+def test_two_tier_rejects_inverted_hierarchy():
+    topo = uniform_topology(2, 2)
+    with pytest.raises(NetworkError):
+        TwoTierLatency(topo, lan_ms=5.0, wan_ms=1.0)
+    with pytest.raises(NetworkError):
+        TwoTierLatency(topo, lan_ms=-1.0, wan_ms=1.0)
+
+
+def test_matrix_latency_uses_half_rtt():
+    topo = uniform_topology(2, 2)
+    rtt = [[0.1, 8.0], [6.0, 0.2]]
+    model = MatrixLatency(topo, rtt)
+    assert model.one_way(0, 2, RNG) == 4.0  # cluster 0 -> 1
+    assert model.one_way(2, 0, RNG) == 3.0  # asymmetric direction
+    assert model.one_way(0, 1, RNG) == 0.05  # intra-cluster, RTT/2
+    assert model.mean_one_way(0, 1) == 4.0
+
+
+def test_matrix_latency_validation():
+    topo = uniform_topology(2, 2)
+    with pytest.raises(NetworkError):
+        MatrixLatency(topo, [[0.1, 1.0]])  # not square
+    with pytest.raises(NetworkError):
+        MatrixLatency(topo, [[0.1]])  # wrong size
+    with pytest.raises(NetworkError):
+        MatrixLatency(topo, [[0.1, -1.0], [1.0, 0.1]])  # negative
+
+
+def test_jitter_preserves_mean_and_varies():
+    topo = uniform_topology(2, 2)
+    model = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0, jitter=0.2)
+    rng = np.random.default_rng(123)
+    samples = np.array([model.one_way(0, 3, rng) for _ in range(4000)])
+    assert samples.std() > 0.5  # jitter actually applied
+    assert abs(samples.mean() - 10.0) < 0.5  # unbiased
+    assert np.all(samples > 0)
+
+
+def test_zero_jitter_is_deterministic():
+    topo = uniform_topology(2, 2)
+    model = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0, jitter=0.0)
+    rng = np.random.default_rng(123)
+    assert {model.one_way(0, 3, rng) for _ in range(10)} == {10.0}

@@ -1,0 +1,176 @@
+"""Unit tests for the Network transport, stats and fault injection."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    ConstantLatency,
+    FaultInjector,
+    Network,
+    TwoTierLatency,
+    uniform_topology,
+)
+from repro.sim import Simulator
+
+
+def make_net(fifo=False, faults=None, jitter=0.0, n_clusters=2, nodes=2):
+    sim = Simulator(seed=5)
+    topo = uniform_topology(n_clusters, nodes)
+    latency = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0, jitter=jitter)
+    return sim, topo, Network(sim, topo, latency, fifo=fifo, faults=faults)
+
+
+def test_send_delivers_with_latency():
+    sim, topo, net = make_net()
+    got = []
+    net.register(3, "app", got.append)
+    msg = net.send(0, 3, "app", "ping", {"x": 1})
+    assert msg.sent_at == 0.0
+    sim.run()
+    assert len(got) == 1
+    assert got[0].kind == "ping"
+    assert got[0].payload == {"x": 1}
+    assert got[0].delivered_at == 10.0  # WAN one-way
+
+
+def test_intra_cluster_uses_lan_latency():
+    sim, topo, net = make_net()
+    got = []
+    net.register(1, "app", got.append)
+    net.send(0, 1, "app", "ping")
+    sim.run()
+    assert got[0].delivered_at == pytest.approx(0.1)
+
+
+def test_send_to_unregistered_address_raises():
+    sim, topo, net = make_net()
+    with pytest.raises(NetworkError):
+        net.send(0, 1, "nobody", "ping")
+
+
+def test_send_from_unknown_node_raises():
+    sim, topo, net = make_net()
+    net.register(0, "app", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.send(99, 0, "app", "ping")
+
+
+def test_double_registration_rejected():
+    sim, topo, net = make_net()
+    net.register(0, "app", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.register(0, "app", lambda m: None)
+
+
+def test_unregister():
+    sim, topo, net = make_net()
+    got = []
+    net.register(0, "app", got.append)
+    net.send(1, 0, "app", "ping")
+    net.unregister(0, "app")
+    sim.run()
+    assert got == []  # in-flight message dropped like a closed socket
+    with pytest.raises(NetworkError):
+        net.unregister(0, "app")
+
+
+def test_stats_classification():
+    sim, topo, net = make_net()
+    for node in range(topo.n_nodes):
+        net.register(node, "app", lambda m: None)
+    net.send(0, 1, "app", "x")  # intra
+    net.send(0, 2, "app", "x")  # inter
+    net.send(0, 0, "app", "x")  # local
+    net.send(2, 3, "app", "x")  # intra
+    sim.run()
+    snap = net.stats.snapshot()
+    assert snap["total"] == 4
+    assert snap["intra_cluster"] == 2
+    assert snap["inter_cluster"] == 1
+    assert snap["local"] == 1
+    assert net.stats.cluster_matrix[0, 1] == 1
+    assert net.stats.by_kind["x"] == 4
+
+
+def test_stats_per_port_and_reset():
+    sim, topo, net = make_net()
+    net.register(2, "inter/0", lambda m: None)
+    net.register(2, "intra/0", lambda m: None)
+    net.send(0, 2, "inter/0", "req")
+    net.send(0, 2, "intra/0", "req")
+    assert net.stats.inter_cluster_for_ports("inter") == 1
+    net.stats.reset()
+    assert net.stats.total == 0
+    assert net.stats.inter_cluster_for_ports("inter") == 0
+
+
+def test_fifo_ordering_with_jitter():
+    sim, topo, net = make_net(fifo=True, jitter=0.8)
+    got = []
+    net.register(2, "app", lambda m: got.append(m.payload["i"]))
+    for i in range(50):
+        net.send(0, 2, "app", "seq", {"i": i})
+    sim.run()
+    assert got == list(range(50))
+
+
+def test_non_fifo_can_reorder_with_jitter():
+    sim, topo, net = make_net(fifo=False, jitter=0.8)
+    got = []
+    net.register(2, "app", lambda m: got.append(m.payload["i"]))
+    for i in range(50):
+        net.send(0, 2, "app", "seq", {"i": i})
+    sim.run()
+    assert sorted(got) == list(range(50))
+    assert got != list(range(50))  # overwhelmingly likely with jitter=0.8
+
+
+def test_fault_drop_all():
+    faults = FaultInjector(drop=1.0)
+    sim, topo, net = make_net(faults=faults)
+    got = []
+    net.register(1, "app", got.append)
+    net.send(0, 1, "app", "ping")
+    sim.run()
+    assert got == []
+    assert faults.dropped == 1
+    # Dropped messages still count as *sent* in the stats.
+    assert net.stats.total == 1
+
+
+def test_fault_duplicate_all():
+    faults = FaultInjector(duplicate=1.0)
+    sim, topo, net = make_net(faults=faults)
+    got = []
+    net.register(1, "app", got.append)
+    net.send(0, 1, "app", "ping", {"k": 1})
+    sim.run()
+    assert len(got) == 2
+    assert faults.duplicated == 1
+    assert got[0].payload == got[1].payload
+    # The duplicate's payload is a copy, not an alias.
+    assert got[0].payload is not got[1].payload
+
+
+def test_fault_validation():
+    with pytest.raises(NetworkError):
+        FaultInjector(drop=1.5)
+    with pytest.raises(NetworkError):
+        FaultInjector(duplicate=-0.1)
+    with pytest.raises(NetworkError):
+        FaultInjector(delay_factor=0.5)
+
+
+def test_trace_send_and_deliver():
+    sim, topo, net = make_net()
+    sends, delivers = [], []
+    sim.trace.record_into("send", sends)
+    sim.trace.record_into("deliver", delivers)
+    net.register(1, "app", lambda m: None)
+    net.send(0, 1, "app", "ping")
+    sim.run()
+    assert len(sends) == 1
+    assert sends[0].kind == "send"  # record kind
+    assert sends[0].fields["kind"] == "ping"  # protocol message kind
+    assert sends[0].src == 0 and sends[0].dst == 1
+    assert delivers[0].time == pytest.approx(0.1)

@@ -1,0 +1,99 @@
+"""Property-based tests of the composition invariants under random
+configurations and workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Composition, CoordinatorState
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.sim import Simulator
+from repro.verify import MutualExclusionChecker
+from repro.workload import deploy_workload
+
+TOKEN_ALGOS = ["naimi", "martin", "suzuki", "raymond", "centralized"]
+
+
+@given(
+    intra=st.sampled_from(TOKEN_ALGOS),
+    inter=st.sampled_from(TOKEN_ALGOS),
+    n_clusters=st.integers(min_value=1, max_value=4),
+    apps=st.integers(min_value=1, max_value=3),
+    rho_over_n=st.floats(min_value=0.3, max_value=8.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_composition_any_workload_is_safe_and_live(
+    intra, inter, n_clusters, apps, rho_over_n, seed
+):
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(n_clusters, apps + 1)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=8.0))
+    comp = Composition(sim, net, topo, intra=intra, inter=inter)
+
+    app_set = frozenset(comp.app_nodes)
+    safety = MutualExclusionChecker(
+        sim.trace,
+        include=lambda rec: rec.node in app_set and rec.port.startswith("intra"),
+    )
+    n_cs = 3
+    apps_list, collector = deploy_workload(
+        comp, alpha_ms=4.0, rho=rho_over_n * len(app_set), n_cs=n_cs
+    )
+    sim.run(until=2_000_000.0)
+    assert all(a.done for a in apps_list)
+    assert collector.cs_count == len(app_set) * n_cs
+    safety.assert_quiescent()
+    assert safety.total_entries == collector.cs_count
+
+    # Invariant of §3.2: at quiescence, nobody privileged except one
+    # coordinator at most, everyone else OUT.
+    privileged = [
+        c for c in comp.coordinators if c.state.holds_inter_token
+    ]
+    assert len(privileged) <= 1
+    for c in comp.coordinators:
+        assert c.state in (CoordinatorState.OUT, CoordinatorState.IN)
+
+
+@given(
+    inter=st.sampled_from(TOKEN_ALGOS),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_at_most_one_privileged_coordinator_at_every_step(inter, seed):
+    """§3.2's invariant, checked after *every* kernel event: at most one
+    coordinator system-wide is in IN or WAIT_FOR_OUT."""
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(3, 3)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=8.0))
+    comp = Composition(sim, net, topo, intra="naimi", inter=inter)
+    deploy_workload(comp, alpha_ms=3.0, rho=4.0, n_cs=3)
+    while sim.step():
+        privileged = [
+            c for c in comp.coordinators if c.state.holds_inter_token
+        ]
+        assert len(privileged) <= 1, (sim.now, privileged)
+
+
+@given(
+    inter=st.sampled_from(TOKEN_ALGOS),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_obtaining_times_are_nonnegative_and_bounded(inter, seed):
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(3, 3)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=8.0))
+    comp = Composition(sim, net, topo, intra="naimi", inter=inter)
+    apps_list, collector = deploy_workload(
+        comp, alpha_ms=4.0, rho=3.0, n_cs=4
+    )
+    sim.run(until=2_000_000.0)
+    times = collector.obtaining_times()
+    assert all(t >= 0.0 for t in times)
+    # Worst case bound: everyone ahead of you in a fully serialised queue
+    # plus generous per-hop latency overhead.
+    n = len(apps_list)
+    bound = n * 4 * (4.0 + 10 * 8.0 + 5.0)
+    assert max(times) < bound

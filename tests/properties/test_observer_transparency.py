@@ -1,0 +1,78 @@
+"""Observers must not perturb the simulation.
+
+The checkers, timeline recorder and watchdog are advertised as
+*non-invasive*: they subscribe to trace records but never touch
+simulation state.  These properties pin that down — a run's digest is
+bit-identical with any combination of observers attached.  (This is the
+invariant that makes "check_safety=True by default" a safe choice for
+every experiment.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Composition
+from repro.metrics import MetricsCollector, TimelineRecorder
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.sim import Simulator
+from repro.verify import (
+    LivenessChecker,
+    MutualExclusionChecker,
+    ProgressWatchdog,
+    RunDigest,
+)
+from repro.workload import deploy_workload
+
+
+def run_once(seed: int, observers: str):
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(2, 3)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=6.0,
+                                            jitter=0.2))
+    comp = Composition(sim, net, topo, intra="naimi", inter="martin")
+    digest = RunDigest(sim)
+    app_set = frozenset(comp.app_nodes)
+    if "safety" in observers:
+        # Scoped to application CS, as the experiment runner does (the
+        # coordinators entered their intra CS at construction, before
+        # any observer could attach).
+        MutualExclusionChecker(
+            sim.trace, include=lambda rec: rec.node in app_set
+        )
+    if "liveness" in observers:
+        LivenessChecker(
+            sim.trace, include=lambda rec: rec.node in app_set
+        )
+    if "timeline" in observers:
+        TimelineRecorder(sim.trace, topo, comp.app_nodes)
+    if "watchdog" in observers:
+        ProgressWatchdog(sim, stall_after_ms=10_000.0)
+    apps, collector = deploy_workload(comp, alpha_ms=2.0, rho=4.0, n_cs=3)
+    sim.run(until=1_000_000.0)
+    assert all(a.done for a in apps)
+    return digest.hexdigest, collector.obtaining_stats().mean
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    combo=st.sets(
+        st.sampled_from(["safety", "liveness", "timeline"]),
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_trace_observers_do_not_change_the_run(seed, combo):
+    bare_digest, bare_mean = run_once(seed, "")
+    observed_digest, observed_mean = run_once(seed, ",".join(sorted(combo)))
+    assert observed_digest == bare_digest
+    assert observed_mean == bare_mean
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_watchdog_changes_no_outcome_on_healthy_runs(seed):
+    """The watchdog schedules kernel timers (so the raw event *count*
+    differs) but must not alter any observable protocol behaviour."""
+    bare_digest, bare_mean = run_once(seed, "")
+    dog_digest, dog_mean = run_once(seed, "watchdog")
+    assert dog_digest == bare_digest
+    assert dog_mean == bare_mean

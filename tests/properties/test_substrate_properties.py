@@ -1,0 +1,127 @@
+"""Property-based tests for the simulation substrate and metrics math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import pooled, summarize
+from repro.mutex import balanced_tree_parents
+from repro.net import MatrixLatency, uniform_topology
+from repro.sim import Simulator
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1,
+                    max_size=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_kernel_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator(seed=0)
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2,
+                    max_size=30),
+    cancel_mask=st.lists(st.booleans(), min_size=2, max_size=30),
+)
+@settings(max_examples=50, deadline=None)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator(seed=0)
+    fired = []
+    handles = [
+        sim.schedule(d, fired.append, i) for i, d in enumerate(delays)
+    ]
+    for h, cancel in zip(handles, cancel_mask):
+        if cancel:
+            h.cancel()
+    sim.run()
+    expected = {
+        i for i, (d, c) in enumerate(zip(delays, cancel_mask)) if not c
+    } | set(range(len(cancel_mask), len(delays)))
+    assert set(fired) == expected
+
+
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_matrix_latency_is_half_rtt(n, data):
+    rtt = data.draw(
+        st.lists(
+            st.lists(st.floats(min_value=0.01, max_value=100.0),
+                     min_size=n, max_size=n),
+            min_size=n, max_size=n,
+        )
+    )
+    topo = uniform_topology(n, 2)
+    model = MatrixLatency(topo, rtt)
+    rng = np.random.default_rng(0)
+    for ci in range(n):
+        for cj in range(n):
+            if ci == cj:
+                continue
+            src = topo.cluster_nodes(ci)[0]
+            dst = topo.cluster_nodes(cj)[1]
+            assert model.one_way(src, dst, rng) == rtt[ci][cj] / 2.0
+
+
+@given(
+    chunks=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=0,
+                 max_size=40),
+        min_size=1, max_size=5,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pooled_equals_concatenated(chunks):
+    flat = [v for chunk in chunks for v in chunk]
+    combined = summarize(flat)
+    piecewise = pooled([summarize(c) for c in chunks])
+    assert piecewise.count == combined.count
+    assert abs(piecewise.mean - combined.mean) < 1e-6 * max(1.0, abs(combined.mean))
+    assert abs(piecewise.std - combined.std) < 1e-5 * max(1.0, combined.std, combined.mean)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    root_index=st.integers(min_value=0, max_value=39),
+)
+@settings(max_examples=50, deadline=None)
+def test_balanced_tree_is_a_tree_rooted_at_root(n, root_index):
+    peers = list(range(100, 100 + n))
+    root = peers[root_index % n]
+    parents = balanced_tree_parents(peers, root)
+    assert parents[root] is None
+    assert set(parents) == set(peers)
+    # Every node reaches the root without cycles.
+    for node in peers:
+        seen = set()
+        cur = node
+        while parents[cur] is not None:
+            assert cur not in seen
+            seen.add(cur)
+            cur = parents[cur]
+        assert cur == root
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_simulation_runs_are_seed_deterministic(seed):
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        n_clusters=2, apps_per_cluster=2, n_cs=2, rho=4.0, seed=seed,
+        platform="two-tier",
+    )
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.obtaining.mean == b.obtaining.mean
+    assert a.total_messages == b.total_messages

@@ -1,0 +1,173 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator(seed=1)
+    assert sim.now == 0.0
+    assert sim.events_fired == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(5.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(9.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9.0
+    assert sim.events_fired == 3
+
+
+def test_ties_fire_in_scheduling_order():
+    sim = Simulator(seed=1)
+    order = []
+    for tag in range(10):
+        sim.schedule(3.0, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_event_fires_after_current():
+    sim = Simulator(seed=1)
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "second")
+    sim.run()
+    # "second" was scheduled before "nested", so it fires first at t=1.
+    assert order == ["first", "second", "nested"]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.5, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_non_callable_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule(1.0, "not callable")
+
+
+def test_cancellation():
+    sim = Simulator(seed=1)
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert handle.active
+    handle.cancel()
+    assert not handle.active
+    sim.run()
+    assert fired == []
+    # Cancelling twice is a no-op.
+    handle.cancel()
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator(seed=1)
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    handle.cancel()  # must not raise
+    assert not handle.active
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(10.0, fired.append, 10)
+    end = sim.run(until=5.0)
+    assert fired == [1]
+    assert end == 5.0
+    assert sim.now == 5.0
+    # The late event is still pending and fires on the next run.
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_advances_clock_when_calendar_drains():
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, lambda: None)
+    end = sim.run(until=100.0)
+    assert end == 100.0
+
+
+def test_run_max_events():
+    sim = Simulator(seed=1)
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_stop_from_within_event():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired[0][0] == "a" if isinstance(fired[0], tuple) else True
+    assert "b" not in fired
+
+
+def test_run_not_reentrant():
+    sim = Simulator(seed=1)
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, recurse)
+    sim.run()
+
+
+def test_step_returns_false_on_empty_calendar():
+    sim = Simulator(seed=1)
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator(seed=1)
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_pending_events_iterator_skips_cancelled():
+    sim = Simulator(seed=1)
+    h1 = sim.schedule(1.0, lambda: None, label="keep")
+    h2 = sim.schedule(2.0, lambda: None, label="drop")
+    h2.cancel()
+    labels = [e.label for e in sim.pending_events()]
+    assert labels == ["keep"]
+    assert h1.active

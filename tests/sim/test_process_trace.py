@@ -1,0 +1,96 @@
+"""Unit tests for Process timers and the Tracer."""
+
+from repro.sim import Process, Simulator, Tracer
+
+
+def test_process_timer_fires():
+    sim = Simulator(seed=1)
+    proc = Process(sim, "p0")
+    fired = []
+    proc.set_timer(3.0, fired.append, "tick")
+    sim.run()
+    assert fired == ["tick"]
+    assert proc.now == 3.0
+
+
+def test_cancel_timers_sweeps_everything():
+    sim = Simulator(seed=1)
+    proc = Process(sim, "p0")
+    fired = []
+    for i in range(5):
+        proc.set_timer(float(i + 1), fired.append, i)
+    proc.cancel_timers()
+    sim.run()
+    assert fired == []
+
+
+def test_timer_list_compaction():
+    sim = Simulator(seed=1)
+    proc = Process(sim, "p0")
+    # Fire batches of timers between additions: dead handles must be
+    # swept once the tracking list passes the compaction threshold.
+    count = []
+    for batch in range(4):
+        for i in range(50):
+            proc.set_timer(float(i), count.append, i)
+        sim.run()
+    assert len(count) == 200
+    assert len(proc._timers) <= 65
+
+
+def test_process_rng_is_per_process_and_purpose():
+    sim = Simulator(seed=9)
+    p0 = Process(sim, "p0")
+    p1 = Process(sim, "p1")
+    assert p0.rng().random(3).tolist() != p1.rng().random(3).tolist()
+    assert p0.rng("think") is not p0.rng("other")
+
+
+def test_tracer_inactive_by_default():
+    tracer = Tracer()
+    assert not tracer.active
+    tracer.emit("whatever", x=1)  # must be a silent no-op
+
+
+def test_tracer_kind_and_wildcard_subscription():
+    tracer = Tracer()
+    got_kind, got_all = [], []
+    tracer.subscribe("send", got_kind.append)
+    tracer.subscribe("*", got_all.append)
+    tracer.emit("send", src=1)
+    tracer.emit("deliver", dst=2)
+    assert [r.kind for r in got_kind] == ["send"]
+    assert [r.kind for r in got_all] == ["send", "deliver"]
+    assert got_kind[0].src == 1
+
+
+def test_tracer_unsubscribe_deactivates():
+    tracer = Tracer()
+    sink = []
+    tracer.subscribe("x", sink.append)
+    assert tracer.active
+    tracer.unsubscribe("x", sink.append)
+    assert not tracer.active
+
+
+def test_trace_record_attribute_error():
+    tracer = Tracer()
+    sink = []
+    tracer.record_into("k", sink)
+    tracer.emit("k", a=1)
+    rec = sink[0]
+    assert rec.a == 1
+    try:
+        rec.missing
+        raise AssertionError("expected AttributeError")
+    except AttributeError:
+        pass
+
+
+def test_kernel_emits_event_records_when_traced():
+    sim = Simulator(seed=1)
+    sink = []
+    sim.trace.record_into("event", sink)
+    sim.schedule(1.0, lambda: None, label="hello")
+    sim.run()
+    assert [r.label for r in sink] == ["hello"]

@@ -1,0 +1,75 @@
+"""Unit tests for the progress watchdog."""
+
+import pytest
+
+from repro.core import Composition
+from repro.errors import LivenessViolation
+from repro.net import ConstantLatency, FaultInjector, Network, uniform_topology
+from repro.sim import Simulator
+from repro.verify import ProgressWatchdog
+from repro.workload import deploy_workload
+
+from ..helpers import PeerDriver
+
+
+def test_validation():
+    sim = Simulator(seed=0)
+    with pytest.raises(LivenessViolation):
+        ProgressWatchdog(sim, stall_after_ms=0.0)
+
+
+def test_healthy_run_passes():
+    d = PeerDriver(algorithm="naimi", n=4, cs_time=1.0)
+    watchdog = ProgressWatchdog(d.sim, stall_after_ms=100.0, peers=d.peers)
+    for node in range(4):
+        d.cycle(node, 3, think=0.5)
+    d.run().check()
+    assert not watchdog.stalled
+    assert not watchdog.outstanding
+
+
+def test_stall_raises_with_diagnostics():
+    # Drop every request: node 1's request vanishes, progress stops.
+    d = PeerDriver(
+        algorithm="naimi", n=4, cs_time=1.0,
+        faults=FaultInjector(drop=1.0, only_kinds={"request"}),
+    )
+    watchdog = ProgressWatchdog(d.sim, stall_after_ms=50.0, peers=d.peers)
+    d.request(1, at=0.0)
+    with pytest.raises(LivenessViolation) as exc:
+        d.sim.run()
+    text = str(exc.value)
+    assert "node 1" in text
+    assert "token holders" in text
+    assert "mutex@0" in text  # the idle holder is named
+    assert watchdog.stalled
+
+
+def test_stall_in_composition_names_coordinators():
+    sim = Simulator(seed=0)
+    topo = uniform_topology(2, 3)
+    net = Network(
+        sim, topo, ConstantLatency(1.0),
+        # Lose the inter-level requests: coordinators stall WAIT_FOR_IN.
+        faults=FaultInjector(drop=1.0, only_kinds={"request"}),
+    )
+    comp = Composition(sim, net, topo, intra="suzuki", inter="naimi")
+    ProgressWatchdog(
+        sim, stall_after_ms=200.0, coordinators=comp.coordinators
+    )
+    deploy_workload(comp, alpha_ms=1.0, rho=2.0, n_cs=2)
+    with pytest.raises(LivenessViolation) as exc:
+        sim.run(until=100_000.0)
+    text = str(exc.value)
+    assert "coord@" in text
+    assert "WAIT_FOR_IN" in text or "OUT" in text
+
+
+def test_slow_but_progressing_run_does_not_trip():
+    # Long think times: requests are sparse but always served promptly;
+    # the watchdog must only count time while requests are outstanding.
+    d = PeerDriver(algorithm="martin", n=3, cs_time=1.0)
+    ProgressWatchdog(d.sim, stall_after_ms=30.0, peers=d.peers)
+    for k in range(5):
+        d.request(1 + (k % 2), at=100.0 * k)
+    d.run().check()

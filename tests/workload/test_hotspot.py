@@ -1,0 +1,94 @@
+"""Unit tests for non-uniform (hotspot) workloads."""
+
+import pytest
+
+from repro.core import Composition
+from repro.errors import ConfigurationError
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.sim import Simulator
+from repro.workload import deploy_hotspot_workload, deploy_workload
+
+
+def build(n_clusters=3, apps=2, seed=0):
+    sim = Simulator(seed=seed)
+    topo = uniform_topology(n_clusters, apps + 1)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=5.0))
+    return sim, topo, Composition(sim, net, topo)
+
+
+def test_rho_by_cluster_sets_per_cluster_think_times():
+    sim, topo, comp = build()
+    apps, _ = deploy_workload(
+        comp, alpha_ms=10.0, rho=100.0, n_cs=1,
+        rho_by_cluster={0: 2.0},
+    )
+    by_cluster = {}
+    for app in apps:
+        by_cluster.setdefault(app.cluster, set()).add(app.beta)
+    assert by_cluster[0] == {20.0}       # hot: beta = 2 * 10
+    assert by_cluster[1] == {1000.0}     # cold: beta = 100 * 10
+    assert by_cluster[2] == {1000.0}
+
+
+def test_rho_by_cluster_validates_cluster_ids():
+    sim, topo, comp = build()
+    with pytest.raises(ConfigurationError):
+        deploy_workload(
+            comp, alpha_ms=10.0, rho=10.0, n_cs=1, rho_by_cluster={9: 1.0}
+        )
+
+
+def test_hotspot_helper_defaults_and_validation():
+    sim, topo, comp = build()
+    apps, _ = deploy_hotspot_workload(
+        comp, alpha_ms=5.0, hot_rho=1.0, cold_rho=50.0, n_cs=1
+    )
+    hot = [a for a in apps if a.cluster == 0]
+    cold = [a for a in apps if a.cluster != 0]
+    assert all(a.beta == 5.0 for a in hot)
+    assert all(a.beta == 250.0 for a in cold)
+    with pytest.raises(ConfigurationError):
+        deploy_hotspot_workload(
+            comp, alpha_ms=5.0, hot_rho=50.0, cold_rho=1.0, n_cs=1
+        )
+
+
+def test_hotspot_run_completes_and_hot_cluster_dominates():
+    sim, topo, comp = build(seed=3)
+    apps, collector = deploy_hotspot_workload(
+        comp, alpha_ms=4.0, hot_rho=1.0, cold_rho=80.0, n_cs=6,
+        hot_clusters=[1],
+    )
+    sim.run(until=1_000_000.0)
+    assert all(a.done for a in apps)
+    # The hot cluster's CS entries finish far earlier on average: its
+    # processes cycle eagerly while cold ones idle between requests.
+    by_cluster = {}
+    for r in collector.records:
+        by_cluster.setdefault(r.cluster, []).append(r.released_at)
+    assert max(by_cluster[1]) < max(
+        max(v) for ci, v in by_cluster.items() if ci != 1
+    )
+
+
+def test_hotspot_keeps_inter_token_home():
+    # With one hot cluster, its eager back-to-back requests are served
+    # while the inter token is parked there: the hot cluster's CS entries
+    # form long same-cluster runs in the token's journey.
+    from repro.metrics import TimelineRecorder
+
+    sim, topo, comp = build(n_clusters=4, apps=2, seed=1)
+    timeline = TimelineRecorder(sim.trace, topo, comp.app_nodes)
+    apps, collector = deploy_hotspot_workload(
+        comp, alpha_ms=4.0, hot_rho=1.0, cold_rho=500.0, n_cs=10,
+    )
+    sim.run(until=1_000_000.0)
+    assert all(a.done for a in apps)
+    hot_cluster = 0
+    runs = timeline.cluster_runs()
+    hot_runs = [length for cluster, length in runs if cluster == hot_cluster]
+    cold_runs = [length for cluster, length in runs if cluster != hot_cluster]
+    # The hot cluster batches multiple CS per inter-token visit; cold
+    # clusters' sparse requests are served one at a time.
+    assert max(hot_runs) >= 3
+    assert sum(hot_runs) / len(hot_runs) > sum(cold_runs) / len(cold_runs)
