@@ -11,12 +11,22 @@ exclusion algorithms.
   (paper §6 extension).
 * :class:`~repro.core.adaptive.AdaptiveComposition` — runtime switching
   of the inter algorithm (paper §6 future work).
+* :mod:`repro.core.recovery` — crash detection, token regeneration and
+  coordinator failover around the unmodified algorithms.
 """
 
 from .adaptive import AdaptiveComposition, AdaptivePolicy
 from .composition import Composition, FlatMutex, MutexSystem
 from .coordinator import Coordinator
 from .multilevel import MultilevelComposition
+from .recovery import (
+    CompositionRecovery,
+    HeartbeatEmitter,
+    HeartbeatMonitor,
+    InstanceRecovery,
+    RecoveryConfig,
+    elect_holder,
+)
 from .states import CoordinatorState
 
 __all__ = [
@@ -28,4 +38,10 @@ __all__ = [
     "MultilevelComposition",
     "AdaptiveComposition",
     "AdaptivePolicy",
+    "RecoveryConfig",
+    "InstanceRecovery",
+    "CompositionRecovery",
+    "HeartbeatEmitter",
+    "HeartbeatMonitor",
+    "elect_holder",
 ]

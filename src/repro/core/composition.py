@@ -80,6 +80,14 @@ class Composition(MutexSystem):
         "naimi", inter="martin")`` is the paper's "Naimi-Martin".
     inter_initial_cluster:
         Cluster whose coordinator initially stores the (idle) inter token.
+    standbys:
+        Number of nodes per cluster reserved (after the coordinator
+        slot) as *standby* application-process hosts for coordinator
+        failover (:mod:`repro.core.recovery`).  A standby participates
+        in its cluster's intra instance but hosts no application
+        process, so it can take over as coordinator without first
+        draining an application workload.  Default 0 — no node is
+        reserved and the composition behaves exactly as before.
     """
 
     def __init__(
@@ -90,6 +98,7 @@ class Composition(MutexSystem):
         intra: str = "naimi",
         inter: str = "naimi",
         inter_initial_cluster: int = 0,
+        standbys: int = 0,
     ) -> None:
         super().__init__(sim, net, topology)
         self.intra_name = get_algorithm(intra).name
@@ -100,13 +109,25 @@ class Composition(MutexSystem):
             raise CompositionError(
                 f"inter_initial_cluster {inter_initial_cluster} out of range"
             )
+        if standbys < 0:
+            raise CompositionError(f"standbys must be >= 0, got {standbys}")
 
         self._app_peers: Dict[int, MutexPeer] = {}
         self.intra_instances: List[List[MutexPeer]] = []
+        #: per-cluster list of unused standby nodes (consumed by failover)
+        self.standby_nodes: Dict[int, List[int]] = {}
         coord_lower: List[MutexPeer] = []
         coord_nodes: List[int] = []
         for ci in range(topology.n_clusters):
             coord_node, app_nodes = _split_cluster_nodes(topology, ci)
+            if len(app_nodes) <= standbys:
+                raise CompositionError(
+                    f"cluster {ci} has {len(app_nodes)} non-coordinator "
+                    f"node(s); need more than standbys={standbys} to keep "
+                    "at least one application node"
+                )
+            self.standby_nodes[ci] = list(app_nodes[:standbys])
+            reserved = set(self.standby_nodes[ci])
             cluster_nodes = topology.cluster_nodes(ci)
             port = f"intra/{ci}"
             instance: List[MutexPeer] = []
@@ -116,7 +137,7 @@ class Composition(MutexSystem):
                     initial_holder=coord_node,
                 )
                 instance.append(peer)
-                if node != coord_node:
+                if node != coord_node and node not in reserved:
                     self._app_peers[node] = peer
             self.intra_instances.append(instance)
             coord_lower.append(instance[0])

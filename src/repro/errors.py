@@ -49,3 +49,9 @@ class LivenessViolation(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or workload was configured with invalid parameters."""
+
+
+class RecoveryError(ReproError):
+    """The crash-recovery layer could not restore the system (no live
+    peer to elect, no standby left for a failover, or an algorithm
+    without a registered epoch resetter)."""

@@ -15,6 +15,7 @@ workers), so callers can use it unconditionally.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
@@ -44,8 +45,10 @@ def run_configs_parallel(
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(run_experiment, configs))
-    except (OSError, PermissionError):
-        # No subprocess capability here: do the work in-process.
+    except (OSError, PermissionError, BrokenProcessPool):
+        # No subprocess capability here (sandbox forbids fork, or a
+        # worker died before producing results): redo the whole batch
+        # in-process.  Runs are deterministic, so a restart is safe.
         return [run_experiment(c) for c in configs]
 
 

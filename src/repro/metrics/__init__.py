@@ -2,12 +2,13 @@
 
 from .analysis import SummaryStats, jain_index, pooled, summarize
 from .collector import MetricsCollector
-from .records import CSRecord
+from .records import CSRecord, RecoveryRecord
 from .report import format_matrix, format_series_table, format_table
 from .timeline import TimelineRecorder
 
 __all__ = [
     "CSRecord",
+    "RecoveryRecord",
     "MetricsCollector",
     "SummaryStats",
     "summarize",

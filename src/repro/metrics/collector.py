@@ -6,7 +6,7 @@ from collections import defaultdict
 from typing import Dict, List
 
 from .analysis import SummaryStats, jain_index, summarize
-from .records import CSRecord
+from .records import CSRecord, RecoveryRecord
 
 __all__ = ["MetricsCollector"]
 
@@ -15,14 +15,27 @@ class MetricsCollector:
     """Accumulates :class:`~repro.metrics.records.CSRecord` objects.
 
     Application processes push a record per completed CS; the experiment
-    layer reads the aggregations after the run.
+    layer reads the aggregations after the run.  The recovery layer
+    (:mod:`repro.core.recovery`) additionally pushes
+    :class:`~repro.metrics.records.RecoveryRecord` entries and per-kind
+    retry counts; both stay empty on fault-free runs.
     """
 
     def __init__(self) -> None:
         self.records: List[CSRecord] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.retries: Dict[str, int] = defaultdict(int)
 
     def add(self, record: CSRecord) -> None:
         self.records.append(record)
+
+    def add_recovery(self, record: RecoveryRecord) -> None:
+        self.recoveries.append(record)
+
+    def record_retry(self, kind: str) -> None:
+        """Count one detector escalation of ``kind`` (e.g.
+        ``"deadline:intra/0"`` or ``"heartbeat:1"``)."""
+        self.retries[kind] += 1
 
     # ------------------------------------------------------------------ #
     @property
@@ -53,6 +66,13 @@ class MetricsCollector:
     def completion_time(self) -> float:
         """Simulated time of the last CS release (0 when empty)."""
         return max((r.released_at for r in self.records), default=0.0)
+
+    def recovery_times(self) -> List[float]:
+        return [r.recovery_time for r in self.recoveries]
+
+    def recovery_stats(self) -> SummaryStats:
+        """Detection-to-completion time over all recoveries of the run."""
+        return summarize(self.recovery_times())
 
     def fairness(self) -> Dict[str, float]:
         """Fairness indicators across application processes.

@@ -1,10 +1,10 @@
-"""Per-critical-section measurement records."""
+"""Per-critical-section and per-recovery measurement records."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CSRecord"]
+__all__ = ["CSRecord", "RecoveryRecord"]
 
 
 @dataclass(frozen=True)
@@ -37,4 +37,36 @@ class CSRecord:
             raise ValueError(
                 f"inconsistent CS timestamps: req={self.requested_at} "
                 f"grant={self.granted_at} rel={self.released_at}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed recovery action of the fault-tolerance layer
+    (:mod:`repro.core.recovery`).
+
+    ``kind`` is ``"token_regeneration"`` for an instance-level epoch
+    reset or ``"failover"`` for a full coordinator replacement; ``scope``
+    names what recovered (an instance port, or ``cluster/<i>``).
+    :attr:`recovery_time` spans detection to completion — for a failover
+    that covers the intra re-acquisition and the inter reset, i.e. the
+    whole service interruption as the recovery layer saw it.
+    """
+
+    kind: str
+    scope: str
+    reason: str
+    detected_at: float
+    completed_at: float
+    elected: int
+
+    @property
+    def recovery_time(self) -> float:
+        return self.completed_at - self.detected_at
+
+    def __post_init__(self) -> None:
+        if self.detected_at > self.completed_at:
+            raise ValueError(
+                f"recovery completed at {self.completed_at} before it was "
+                f"detected at {self.detected_at}"
             )

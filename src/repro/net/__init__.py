@@ -8,7 +8,7 @@ cluster, heterogeneous WAN between clusters — is expressed by a
 :class:`~repro.net.topology.GridTopology`.
 """
 
-from .faults import FaultInjector
+from .faults import CrashController, FaultInjector
 from .latency import (
     LOCAL_DELIVERY_MS,
     ConstantLatency,
@@ -35,4 +35,5 @@ __all__ = [
     "Network",
     "MessageStats",
     "FaultInjector",
+    "CrashController",
 ]

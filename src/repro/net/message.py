@@ -36,6 +36,11 @@ class Message:
         Nominal size in bytes, used only by the statistics layer.
     sent_at, delivered_at:
         Simulated timestamps stamped by the network.
+    seq:
+        Network-global monotone delivery sequence number, stamped when
+        the delivery is scheduled.  Strictly orders same-instant sends,
+        which timestamps cannot; the recovery layer's epoch fence keys
+        on it (-1 until stamped).
     """
 
     __slots__ = (
@@ -47,6 +52,7 @@ class Message:
         "size",
         "sent_at",
         "delivered_at",
+        "seq",
     )
 
     def __init__(
@@ -66,6 +72,7 @@ class Message:
         self.size = size
         self.sent_at: float = float("nan")
         self.delivered_at: float = float("nan")
+        self.seq: int = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

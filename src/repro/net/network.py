@@ -21,7 +21,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import NetworkError
 from ..sim.kernel import Simulator
-from .faults import FaultInjector
+from .faults import CrashController, FaultInjector
 from .latency import LatencyModel
 from .message import DEFAULT_MESSAGE_SIZE, Message
 from .stats import MessageStats
@@ -47,6 +47,9 @@ class Network:
         Enforce per-flow FIFO delivery (default ``False`` = UDP-like).
     faults:
         Optional fault injector (tests only).
+    crashes:
+        Optional :class:`~repro.net.faults.CrashController`; without one
+        every node is permanently up and the crash checks short-circuit.
     """
 
     def __init__(
@@ -56,15 +59,18 @@ class Network:
         latency: LatencyModel,
         fifo: bool = False,
         faults: Optional[FaultInjector] = None,
+        crashes: Optional[CrashController] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.latency = latency
         self.fifo = fifo
         self.faults = faults
+        self.crashes = crashes
         self.stats = MessageStats(topology)
         self._handlers: Dict[Tuple[int, str], Handler] = {}
         self._flow_clock: Dict[Tuple[int, int, str], float] = {}
+        self._seq = 0
         self._rng = sim.rng.stream("network/latency")
         self._fault_rng = sim.rng.stream("network/faults")
 
@@ -91,6 +97,36 @@ class Network:
         except KeyError:
             raise NetworkError(f"no handler at {(node, port)}") from None
 
+    def wrap_handler(
+        self, node: int, port: str, wrap: Callable[[Handler], Handler]
+    ) -> None:
+        """Replace the handler at ``(node, port)`` with
+        ``wrap(current_handler)``.
+
+        This is how an interposition layer (e.g. the recovery fence)
+        filters an agent's inbound traffic without the agent — or its
+        message handlers — knowing: exactly the non-intrusive contract
+        the composition itself follows."""
+        key = (node, port)
+        try:
+            current = self._handlers[key]
+        except KeyError:
+            raise NetworkError(f"no handler at {key}") from None
+        wrapped = wrap(current)
+        if not callable(wrapped):
+            raise NetworkError(f"wrap() returned non-callable {wrapped!r}")
+        self._handlers[key] = wrapped
+
+    @property
+    def seq_watermark(self) -> int:
+        """The sequence number the *next* scheduled delivery will carry.
+
+        Every message already scheduled has a strictly smaller ``seq``,
+        so a recovery epoch fence set to this value drops exactly the
+        in-flight traffic of the old epoch — including same-instant
+        sends, which timestamps could not separate."""
+        return self._seq
+
     # ------------------------------------------------------------------ #
     # sending
     # ------------------------------------------------------------------ #
@@ -115,6 +151,11 @@ class Network:
             raise NetworkError(f"unknown source node {src}")
         msg = Message(src, dst, port, kind, payload, size)
         msg.sent_at = self.sim.now
+        if self.crashes is not None and self.crashes.is_down(src):
+            # A crashed node emits nothing: not even a *sent* statistic
+            # (its processes are halted; this path only triggers when an
+            # unbound caller keeps driving a peer on a dead node).
+            return msg
         self.stats.record(msg)
         if self.sim.trace.active:
             self.sim.trace.emit(
@@ -131,24 +172,43 @@ class Network:
         ):
             copy = Message(src, dst, port, kind, dict(msg.payload), size)
             copy.sent_at = msg.sent_at
-            self._schedule_delivery(copy, extra_factor=self.faults.delay_factor)
+            # The copy obeys the flow's FIFO floor but must not raise it:
+            # its delay_factor-inflated due time is an artefact of the
+            # fault, and advancing the per-flow clock by it would delay
+            # every subsequent genuine message on the flow.
+            self._schedule_delivery(
+                copy,
+                extra_factor=self.faults.delay_factor,
+                advance_flow=False,
+            )
         return msg
 
     # ------------------------------------------------------------------ #
     # delivery
     # ------------------------------------------------------------------ #
-    def _schedule_delivery(self, msg: Message, extra_factor: float) -> None:
+    def _schedule_delivery(
+        self, msg: Message, extra_factor: float, advance_flow: bool = True
+    ) -> None:
         delay = self.latency.one_way(msg.src, msg.dst, self._rng) * extra_factor
         due = self.sim.now + delay
         if self.fifo:
             flow = (msg.src, msg.dst, msg.port)
             due = max(due, self._flow_clock.get(flow, 0.0))
-            self._flow_clock[flow] = due
+            if advance_flow:
+                self._flow_clock[flow] = due
+        msg.seq = self._seq
+        self._seq += 1
         self.sim.schedule_at(
             due, self._deliver, msg, label=f"deliver:{msg.kind}@{msg.dst}"
         )
 
     def _deliver(self, msg: Message) -> None:
+        if self.crashes is not None and self.crashes.lost_in_flight(
+            msg.dst, msg.sent_at
+        ):
+            # Destination node crashed: in-flight messages die with it
+            # (and messages sent before its restart are equally lost).
+            return
         handler = self._handlers.get((msg.dst, msg.port))
         if handler is None:
             # The agent deregistered while the message was in flight

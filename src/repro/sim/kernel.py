@@ -141,33 +141,40 @@ class Simulator:
         max_events: Optional[int] = None,
     ) -> float:
         """Run until the calendar drains, ``until`` is reached, or
-        ``max_events`` have fired — whichever comes first.
-
-        When stopping on ``until``, the clock is advanced to exactly
-        ``until`` (events due later stay in the calendar).  Returns the
+        ``max_events`` have fired — whichever comes first.  Returns the
         final simulated time.
+
+        Clock semantics on return:
+
+        * ``stop()`` called during an event — the clock stays exactly
+          where that event fired, even when ``until`` was given;
+        * calendar drained, or next event due after ``until`` — the
+          clock advances to exactly ``until`` (later events stay in the
+          calendar);
+        * ``max_events`` exhausted — the clock stays at the last fired
+          event (no advance to ``until``: the run was cut short, not
+          completed).
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
         fired = 0
+        exhausted = False  # drained, or next event beyond `until`
         try:
             while not self._stopped:
                 if max_events is not None and fired >= max_events:
                     break
                 event = self._peek()
                 if event is None:
+                    exhausted = True
                     break
                 if until is not None and event.time > until:
-                    self._now = max(self._now, until)
+                    exhausted = True
                     break
                 self.step()
                 fired += 1
-            else:
-                # stop() was called; leave the clock where it is.
-                pass
-            if until is not None and not self._heap and self._now < until and not self._stopped:
+            if exhausted and until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False

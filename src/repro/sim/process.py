@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from .event import EventHandle
+from .event import Event, EventHandle
 from .kernel import Simulator
 
 __all__ = ["Process"]
@@ -31,6 +31,7 @@ class Process:
         self.sim = sim
         self.name = name
         self._timers: list[EventHandle] = []
+        self._halted = False
 
     # ------------------------------------------------------------------ #
     # time helpers
@@ -46,7 +47,15 @@ class Process:
         """Schedule ``fn(*args)`` to fire ``delay`` ms from now.
 
         The handle is tracked so :meth:`cancel_timers` can sweep every
-        outstanding timer of the process (used at teardown)."""
+        outstanding timer of the process (used at teardown).
+
+        On a halted process (see :meth:`halt`) nothing is scheduled and
+        an inert, already-cancelled handle is returned: a crashed node
+        cannot arm timers, and callers need not special-case it."""
+        if self._halted:
+            dead = Event(self.sim.now, -1, fn, args, label=label)
+            dead.cancelled = True
+            return EventHandle(dead)
         handle = self.sim.schedule(
             delay, fn, *args, label=label or f"{self.name}.timer"
         )
@@ -62,6 +71,26 @@ class Process:
         for handle in self._timers:
             handle.cancel()
         self._timers.clear()
+
+    # ------------------------------------------------------------------ #
+    # crash semantics (driven by repro.net.faults.CrashController)
+    # ------------------------------------------------------------------ #
+    @property
+    def halted(self) -> bool:
+        """Whether this process is halted (its node has crashed)."""
+        return self._halted
+
+    def halt(self) -> None:
+        """Crash-stop this process: cancel every outstanding timer and
+        refuse new ones until :meth:`resume`.  Idempotent."""
+        self._halted = True
+        self.cancel_timers()
+
+    def resume(self) -> None:
+        """Allow the process to arm timers again (node restart).  Its
+        protocol state is whatever it was at the crash — rejoining a
+        distributed structure is the recovery layer's job, not ours."""
+        self._halted = False
 
     def rng(self, purpose: str = "default"):
         """Return this process's named random stream for ``purpose``."""

@@ -8,10 +8,12 @@
   (single token, idle at quiescence, ring consistency).
 """
 
+from .crash import CrashSafetyChecker
 from .invariants import (
     assert_all_idle,
     assert_consistent_ring,
     assert_single_token,
+    live_peers,
     token_holders,
 )
 from .digest import RunDigest
@@ -22,9 +24,11 @@ from .safety import MutualExclusionChecker
 __all__ = [
     "MutualExclusionChecker",
     "LivenessChecker",
+    "CrashSafetyChecker",
     "ProgressWatchdog",
     "RunDigest",
     "token_holders",
+    "live_peers",
     "assert_single_token",
     "assert_all_idle",
     "assert_consistent_ring",

@@ -1,0 +1,46 @@
+"""Safety checks specific to the crash-stop failure model.
+
+The trace-based :class:`CrashSafetyChecker` complements
+:class:`~repro.verify.safety.MutualExclusionChecker` under fault
+injection: a crashed node is not merely *unlikely* to enter the critical
+section — the failure model forbids it outright (its processes are
+halted and the network isolates it), so any ``cs_enter`` by a down node
+is a bug in the recovery layer, reported immediately.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import SafetyViolation
+from ..net.faults import CrashController
+from ..sim.trace import TraceRecord, Tracer
+
+__all__ = ["CrashSafetyChecker"]
+
+
+class CrashSafetyChecker:
+    """Raises :class:`~repro.errors.SafetyViolation` if a node enters the
+    CS while crashed, and records every entry by a node that crashed
+    *earlier* in the run (informational — a restarted node may lawfully
+    re-enter after the recovery layer readmits it)."""
+
+    def __init__(self, tracer: Tracer, crashes: CrashController) -> None:
+        self.crashes = crashes
+        self._ever_crashed: set = set()
+        #: (time, node, port) CS entries by nodes that crashed earlier
+        self.entries_after_crash: List[Tuple[float, int, str]] = []
+        tracer.subscribe("node_crash", self._on_crash)
+        tracer.subscribe("cs_enter", self._on_enter)
+
+    def _on_crash(self, rec: TraceRecord) -> None:
+        self._ever_crashed.add(rec.node)
+
+    def _on_enter(self, rec: TraceRecord) -> None:
+        if self.crashes.is_down(rec.node):
+            raise SafetyViolation(
+                f"t={rec.time:.3f}ms: crashed node {rec.node} entered the "
+                f"CS on port {rec.port!r}"
+            )
+        if rec.node in self._ever_crashed:
+            self.entries_after_crash.append((rec.time, rec.node, rec.port))

@@ -14,6 +14,7 @@ from ..mutex.base import MutexPeer, PeerState
 
 __all__ = [
     "token_holders",
+    "live_peers",
     "assert_single_token",
     "assert_all_idle",
     "assert_consistent_ring",
@@ -27,6 +28,15 @@ def token_holders(peers: Iterable[MutexPeer]) -> List[MutexPeer]:
     the uniqueness invariant below covers them too.
     """
     return [p for p in peers if p.holds_token]
+
+
+def live_peers(peers: Iterable[MutexPeer], crashes) -> List[MutexPeer]:
+    """The subset of ``peers`` whose node is currently up.
+
+    Post-recovery invariants quantify over the *live* membership — a
+    crashed peer's frozen state (e.g. the stale token it died with) is
+    outside the system by definition of crash-stop."""
+    return [p for p in peers if not crashes.is_down(p.node)]
 
 
 def assert_single_token(peers: Sequence[MutexPeer]) -> None:

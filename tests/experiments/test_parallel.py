@@ -34,6 +34,33 @@ def test_single_worker_falls_back_to_serial():
     assert len(results) == 2
 
 
+def test_broken_process_pool_falls_back_to_serial(monkeypatch):
+    """A pool whose workers die mid-flight (e.g. OOM-killed) must not
+    lose the batch: the runner redoes it serially."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    import repro.experiments.parallel as parallel_mod
+
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            raise BrokenProcessPool("worker died")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", ExplodingPool)
+    configs = [CFG, CFG.with_(seed=1)]
+    results = run_configs_parallel(configs, max_workers=2)
+    assert [r.config.seed for r in results] == [0, 1]
+    assert all(r.total_messages > 0 for r in results)
+
+
 def test_validation():
     with pytest.raises(ConfigurationError):
         run_configs_parallel([])

@@ -9,6 +9,7 @@ from repro.metrics import (
     CSRecord,
     MetricsCollector,
     SummaryStats,
+    jain_index,
     pooled,
     summarize,
 )
@@ -67,6 +68,48 @@ def test_pooled_skips_empty_and_handles_all_empty():
     assert pooled([summarize([]), s]).count == 1
     assert pooled([]).count == 0
     assert pooled([summarize([])]).count == 0
+
+
+def test_pooled_matches_concatenation_across_random_splits():
+    """Property: however a sample is partitioned into runs,
+    ``pooled(map(summarize, parts))`` reproduces ``summarize(whole)``
+    exactly for count/mean/std/min/max (percentiles are approximate by
+    design and excluded)."""
+    rng = np.random.default_rng(42)
+    for trial in range(20):
+        sample = rng.exponential(7.0, int(rng.integers(1, 200))).tolist()
+        whole = summarize(sample)
+        # Random partition: cut points drawn uniformly, parts may be empty.
+        n_parts = int(rng.integers(1, 6))
+        cuts = sorted(rng.integers(0, len(sample) + 1, n_parts - 1).tolist())
+        bounds = [0] + cuts + [len(sample)]
+        parts = [sample[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+        piecewise = pooled([summarize(p) for p in parts])
+        assert piecewise.count == whole.count
+        assert piecewise.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert piecewise.std == pytest.approx(whole.std, rel=1e-9, abs=1e-12)
+        assert piecewise.minimum == whole.minimum
+        assert piecewise.maximum == whole.maximum
+
+
+def test_jain_index_basic_and_edges():
+    # Perfect equality and the 1/n worst case.
+    assert jain_index([4.0, 4.0, 4.0]) == pytest.approx(1.0)
+    assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    # Edge cases: empty sample and all-zero values are defined as
+    # "perfectly fair" (nothing was distributed unevenly).
+    assert jain_index([]) == 1.0
+    assert jain_index([0.0, 0.0]) == 1.0
+    # Scale invariance: multiplying all values by a constant is a no-op.
+    vals = [1.0, 2.0, 3.0, 4.0]
+    assert jain_index([10 * v for v in vals]) == pytest.approx(
+        jain_index(vals)
+    )
+    # Bounds: 1/n <= J <= 1 for any non-negative sample.
+    rng = np.random.default_rng(7)
+    sample = rng.exponential(2.0, 50).tolist()
+    j = jain_index(sample)
+    assert 1.0 / len(sample) <= j <= 1.0
 
 
 def test_collector_aggregations():

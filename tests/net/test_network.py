@@ -152,6 +152,101 @@ def test_fault_duplicate_all():
     assert got[0].payload is not got[1].payload
 
 
+def test_fifo_duplicate_does_not_advance_flow_clock():
+    # Regression: a fault-duplicated copy used to store its
+    # delay_factor-inflated due time into the per-flow FIFO clock, so
+    # every later genuine message on the flow was delayed behind the
+    # duplicate.  The copy must obey the FIFO floor without raising it.
+    faults = FaultInjector(duplicate=1.0, delay_factor=50.0)
+    sim, topo, net = make_net(fifo=True, faults=faults)
+    got = []
+    net.register(1, "app", lambda m: got.append((m.payload["i"], m.delivered_at)))
+    net.send(0, 1, "app", "seq", {"i": 0})
+    net.send(0, 1, "app", "seq", {"i": 1})
+    sim.run()
+    assert len(got) == 4  # two genuine + two duplicates
+    first_delivery = {}
+    for i, t in got:
+        first_delivery.setdefault(i, t)
+    # The second genuine message arrives at LAN latency, NOT behind the
+    # first message's 50x-delayed duplicate.
+    assert first_delivery[0] == pytest.approx(0.1)
+    assert first_delivery[1] == pytest.approx(0.1)
+    # The duplicates themselves still arrive, late.
+    assert max(t for _, t in got) == pytest.approx(5.0)
+
+
+def test_fifo_duplicate_still_respects_flow_floor():
+    # A duplicate may not raise the flow clock, but it must still honour
+    # it: it cannot be delivered before an earlier message on the flow.
+    faults = FaultInjector(duplicate=1.0, delay_factor=1.0)
+    sim, topo, net = make_net(fifo=True, faults=faults, jitter=0.8)
+    got = []
+    net.register(2, "app", lambda m: got.append(m.payload["i"]))
+    for i in range(30):
+        net.send(0, 2, "app", "seq", {"i": i})
+    sim.run()
+    assert len(got) == 60
+    # FIFO still holds for the genuine stream: the first delivery of
+    # each index happens in index order, duplicates notwithstanding.
+    first_seen = []
+    for i in got:
+        if i not in first_seen:
+            first_seen.append(i)
+    assert first_seen == list(range(30))
+    # And no delivery at all beats an index's first genuine delivery
+    # across the flow floor: a duplicate of i may never precede i-1.
+    earliest = {}
+    for pos, i in enumerate(got):
+        earliest.setdefault(i, pos)
+    positions = [earliest[i] for i in range(30)]
+    assert positions == sorted(positions)
+
+
+def test_messages_stamped_with_monotone_seq():
+    sim, topo, net = make_net()
+    net.register(1, "app", lambda m: None)
+    m1 = net.send(0, 1, "app", "ping")
+    m2 = net.send(0, 1, "app", "ping")
+    assert m1.seq >= 0
+    assert m2.seq > m1.seq
+
+
+def test_dropped_message_keeps_sentinel_seq():
+    faults = FaultInjector(drop=1.0)
+    sim, topo, net = make_net(faults=faults)
+    net.register(1, "app", lambda m: None)
+    msg = net.send(0, 1, "app", "ping")
+    assert msg.seq == -1  # never scheduled, never stamped
+
+
+def test_wrap_handler_filters_without_touching_agent():
+    sim, topo, net = make_net()
+    got = []
+    net.register(1, "app", got.append)
+
+    def fence(inner):
+        def wrapped(msg):
+            if msg.kind != "stale":
+                inner(msg)
+        return wrapped
+
+    net.wrap_handler(1, "app", fence)
+    net.send(0, 1, "app", "stale")
+    net.send(0, 1, "app", "fresh")
+    sim.run()
+    assert [m.kind for m in got] == ["fresh"]
+
+
+def test_wrap_handler_errors():
+    sim, topo, net = make_net()
+    with pytest.raises(NetworkError):
+        net.wrap_handler(1, "app", lambda h: h)  # no handler registered
+    net.register(1, "app", lambda m: None)
+    with pytest.raises(NetworkError):
+        net.wrap_handler(1, "app", lambda h: None)  # non-callable result
+
+
 def test_fault_validation():
     with pytest.raises(NetworkError):
         FaultInjector(drop=1.5)

@@ -129,6 +129,87 @@ def test_stop_from_within_event():
     assert "b" not in fired
 
 
+def test_stop_freezes_clock_even_with_until():
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, lambda: None)
+    end = sim.run(until=50.0)
+    # stop() wins over `until`: the clock stays where the stopping event
+    # fired and is NOT advanced to the bound.
+    assert end == 1.0
+    assert sim.now == 1.0
+    # The later event is still pending and fires on a fresh run.
+    assert sim.run() == 2.0
+
+
+def test_stop_on_drained_calendar_does_not_advance_to_until():
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, sim.stop)
+    end = sim.run(until=50.0)
+    assert end == 1.0
+
+
+def test_run_until_advances_clock_past_cancelled_tombstones():
+    # A drained calendar may still physically hold cancelled events;
+    # run(until=...) must advance the clock to the bound regardless.
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, lambda: None)
+    handle = sim.schedule(200.0, lambda: None)
+    handle.cancel()
+    end = sim.run(until=100.0)
+    assert end == 100.0
+    assert sim.now == 100.0
+
+
+def test_run_until_on_empty_calendar_advances_clock():
+    sim = Simulator(seed=1)
+    assert sim.run(until=7.5) == 7.5
+    # Running to an earlier bound afterwards never moves the clock back.
+    assert sim.run(until=3.0) == 7.5
+
+
+def test_max_events_does_not_advance_clock_to_until():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, fired.append, 0)
+    sim.schedule(2.0, fired.append, 1)
+    end = sim.run(until=50.0, max_events=1)
+    # Cut short by max_events: the clock stays at the last fired event.
+    assert fired == [0]
+    assert end == 1.0
+    # Completing the run then honours `until`.
+    assert sim.run(until=50.0) == 50.0
+    assert fired == [0, 1]
+
+
+def test_max_events_zero_fires_nothing_and_keeps_clock():
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, lambda: None)
+    assert sim.run(until=50.0, max_events=0) == 0.0
+    assert sim.events_fired == 0
+
+
+def test_run_until_exact_event_time_fires_the_event():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(5.0, fired.append, "x")
+    end = sim.run(until=5.0)
+    assert fired == ["x"]
+    assert end == 5.0
+
+
+def test_stop_then_run_again_resumes():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert "b" not in fired
+    # A fresh run() clears the stop flag and continues.
+    sim.run()
+    assert fired[-1] == "b"
+
+
 def test_run_not_reentrant():
     sim = Simulator(seed=1)
 

@@ -1,17 +1,18 @@
 """Unit tests for deterministic run digests."""
 
 from repro.core import Composition
-from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.net import CrashController, Network, TwoTierLatency, uniform_topology
 from repro.sim import Simulator
 from repro.verify import RunDigest
 from repro.workload import deploy_workload
 
 
-def run_digest(seed=0, jitter=0.0, intra="naimi"):
+def run_digest(seed=0, jitter=0.0, intra="naimi", with_crash_controller=False):
     sim = Simulator(seed=seed)
     topo = uniform_topology(2, 3)
+    crashes = CrashController(sim) if with_crash_controller else None
     net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=5.0,
-                                            jitter=jitter))
+                                            jitter=jitter), crashes=crashes)
     digest = RunDigest(sim)
     comp = Composition(sim, net, topo, intra=intra, inter="naimi")
     apps, _ = deploy_workload(comp, alpha_ms=2.0, rho=4.0, n_cs=4)
@@ -51,6 +52,16 @@ def test_digest_empty_run():
     assert digest.events == 0
     # Hash of nothing is still a stable value.
     assert len(digest.hexdigest) == 64
+
+
+def test_idle_crash_controller_keeps_digest_bit_identical():
+    """Fault-free runs must not be perturbed by merely *installing* the
+    crash machinery: no RNG draws, no extra events, no reordering.  This
+    is the "recovery is inert by default" acceptance criterion."""
+    plain = run_digest(seed=13)
+    armed = run_digest(seed=13, with_crash_controller=True)
+    assert armed.events == plain.events
+    assert armed.hexdigest == plain.hexdigest
 
 
 def test_golden_digest_pins_protocol_behaviour():
