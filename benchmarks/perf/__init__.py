@@ -1,0 +1,25 @@
+"""Persistent performance-benchmark harness.
+
+``benchmarks/perf`` measures end-to-end simulator throughput (events/sec,
+messages/sec, wall time) on a small set of canonical scenarios and records
+the trajectory as ``BENCH_<stamp>.json`` files at the repository root, so
+every optimization PR can prove its speedup against the committed history.
+
+Entry points:
+
+* ``scripts/run_bench.py`` — CLI: run the suite, write a report, compare
+  against a committed baseline (the CI ``bench-smoke`` job gates on it).
+* :func:`benchmarks.perf.harness.run_suite` — programmatic access.
+
+See ``docs/performance.md`` for the measurement methodology.
+"""
+
+from .harness import (  # noqa: F401
+    SCENARIOS,
+    check_regression,
+    latest_bench_file,
+    load_report,
+    machine_score,
+    run_suite,
+    write_report,
+)

@@ -1,0 +1,180 @@
+"""Benchmark harness: timing, persistence and the regression gate.
+
+A *report* is one JSON document::
+
+    {
+      "stamp":   "20260807T120000Z",
+      "mode":    "quick" | "full",
+      "python":  "3.11.7",
+      "platform": "...",
+      "machine_score": 123456.7,       # repro-independent ops/sec yardstick
+      "scenarios": {
+        "fig4_composition": {
+          "wall_s": ..., "events": ..., "messages": ..., "cs": ...,
+          "sim_ms": ..., "events_per_s": ..., "messages_per_s": ...,
+          "repeats": 3
+        },
+        ...
+      }
+    }
+
+Reports are written as ``BENCH_<stamp>.json`` at the repository root and
+are meant to be committed: the sequence of files is the performance
+trajectory of the repo.
+
+The regression gate compares events/sec per scenario between two reports.
+Because CI runners and developer machines differ, the comparison is
+*normalized* by :func:`machine_score` — a fixed pure-Python/numpy workload
+measured at report time that does **not** exercise any ``repro`` code, so
+it moves with the machine, not with the kernel under test.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .scenarios import SCENARIO_FNS
+
+__all__ = [
+    "SCENARIOS",
+    "machine_score",
+    "run_suite",
+    "write_report",
+    "load_report",
+    "latest_bench_file",
+    "check_regression",
+]
+
+SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_FNS)
+
+#: events/sec comparisons within this fraction of the baseline pass.
+DEFAULT_THRESHOLD = 0.20
+
+
+def machine_score() -> float:
+    """A repro-independent machine-speed yardstick (higher = faster).
+
+    Times a fixed mix of pure-Python arithmetic and a numpy PCG64 draw —
+    roughly the instruction mix of the simulator — and returns ops/sec.
+    Deliberately does not import anything from ``repro`` so kernel
+    optimizations cannot inflate it.
+    """
+    best = float("inf")
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(200_000):
+            acc = (acc * 1103515245 + i) & 0xFFFFFFFF
+        rng.standard_normal(100_000)
+        best = min(best, time.perf_counter() - t0)
+    return 300_000 / best
+
+
+def run_suite(
+    quick: bool = True,
+    repeats: int = 3,
+    scenarios: Optional[Iterable[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run the selected scenarios, keeping each scenario's best of
+    ``repeats`` timings (minimum wall time — standard practice for
+    microbenchmarks, as the minimum is the least noisy estimator)."""
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIO_FNS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown}; choose from {SCENARIOS}")
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        fn = SCENARIO_FNS[name]
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeats)):
+            run = fn(quick)
+            if best is None or run["wall_s"] < best["wall_s"]:
+                best = run
+        assert best is not None
+        wall = best["wall_s"] or 1e-12
+        best["events_per_s"] = best["events"] / wall
+        best["messages_per_s"] = best["messages"] / wall
+        best["repeats"] = max(1, repeats)
+        results[name] = best
+    return results
+
+
+def write_report(
+    results: Dict[str, Dict[str, float]],
+    mode: str,
+    root: str,
+    score: Optional[float] = None,
+    stamp: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<stamp>.json`` under ``root``; returns the path."""
+    stamp = stamp or time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    report = {
+        "stamp": stamp,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine_score": machine_score() if score is None else score,
+        "scenarios": results,
+    }
+    path = os.path.join(root, f"BENCH_{stamp}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def latest_bench_file(root: str, exclude: Optional[str] = None) -> Optional[str]:
+    """Newest committed ``BENCH_*.json`` by stamp (filename sort), or None."""
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if exclude is not None:
+        paths = [p for p in paths if os.path.abspath(p) != os.path.abspath(exclude)]
+    return paths[-1] if paths else None
+
+
+def check_regression(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Compare events/sec per scenario; return failure messages.
+
+    Throughputs are normalized by each report's ``machine_score`` when both
+    carry one, so a slower CI runner does not read as a kernel regression.
+    Scenarios present in only one report are skipped (the suite may grow).
+    """
+    failures: List[str] = []
+    base_score = baseline.get("machine_score")
+    cur_score = current.get("machine_score")
+    normalize = bool(base_score and cur_score)
+    for name, base in baseline.get("scenarios", {}).items():
+        cur = current.get("scenarios", {}).get(name)
+        if cur is None:
+            continue
+        old = base["events_per_s"]
+        new = cur["events_per_s"]
+        if normalize:
+            old /= base_score
+            new /= cur_score
+        if old <= 0:
+            continue
+        ratio = new / old
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{name}: events/sec regressed to {ratio:.2f}x of baseline "
+                f"({cur['events_per_s']:,.0f} vs {base['events_per_s']:,.0f} "
+                f"raw; normalized={normalize})"
+            )
+    return failures

@@ -1,0 +1,216 @@
+"""Canonical benchmark scenarios.
+
+Each scenario builds a deterministic simulation, times **only** the
+``sim.run()`` hot loop (construction and teardown are excluded), and
+returns raw counters.  Scenarios come in a ``quick`` flavour (seconds, used
+by CI and the regression gate) and a full flavour (paper scale).
+
+The scenarios are chosen to stress complementary paths:
+
+* ``kernel_spin``      — pure calendar-queue churn, no network, no tracing:
+                         the kernel's floor.
+* ``fig4_composition`` — the paper's Fig. 4 workload (Naimi/Naimi
+                         composition on the 9-site Grid'5000 matrix): the
+                         canonical end-to-end microbench the acceptance
+                         speedup is measured on.
+* ``flat_suzuki``      — flat Suzuki-Kasami broadcast: message-heavy,
+                         stresses the network send/deliver path.
+* ``crash_recovery``   — coordinator crash + failover under the recovery
+                         layer: stresses timer cancellation (heartbeat
+                         re-arming) and the heap-compaction path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from repro.core import Composition, CompositionRecovery, RecoveryConfig
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import build_platform, build_system
+from repro.net import CrashController, Network, TwoTierLatency, uniform_topology
+from repro.sim import Simulator
+from repro.verify.safety import MutualExclusionChecker
+from repro.workload import deploy_workload
+
+__all__ = ["SCENARIO_FNS"]
+
+
+def _timed_run(sim: Simulator, until: float) -> float:
+    t0 = time.perf_counter()
+    sim.run(until=until)
+    return time.perf_counter() - t0
+
+
+def _instrumented_experiment(config: ExperimentConfig) -> Dict[str, float]:
+    """One ``run_experiment``-shaped run that exposes kernel counters."""
+    config.validate()
+    sim = Simulator(seed=config.seed)
+    topology, latency = build_platform(config)
+    net = Network(sim, topology, latency, fifo=config.fifo)
+    system = build_system(sim, net, topology, config)
+    app_set = frozenset(system.app_nodes)
+    MutualExclusionChecker(
+        sim.trace,
+        include=lambda rec: rec.node in app_set
+        and (rec.port.startswith("intra") or rec.port == "flat"),
+    )
+
+    remaining = {"count": len(system.app_nodes)}
+
+    def app_done(_app) -> None:
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            sim.stop()
+
+    apps, collector = deploy_workload(
+        system,
+        alpha_ms=config.alpha_ms,
+        rho=config.rho,
+        n_cs=config.n_cs,
+        distribution=config.distribution,
+        on_done=app_done,
+    )
+    wall = _timed_run(sim, config.default_deadline())
+    assert all(a.done for a in apps), "benchmark run did not complete"
+    return {
+        "wall_s": wall,
+        "events": sim.events_fired,
+        "messages": net.stats.total,
+        "cs": collector.cs_count,
+        "sim_ms": sim.now,
+    }
+
+
+# --------------------------------------------------------------------- #
+# scenarios
+# --------------------------------------------------------------------- #
+def kernel_spin(quick: bool) -> Dict[str, float]:
+    """Pure calendar churn: schedule/fire cost with an empty payload.
+
+    256 concurrent self-rescheduling chains keep the calendar populated
+    (a 1-deep heap would be degenerate: real runs hold hundreds of
+    pending timers/deliveries, and heap depth is what the pop/push path
+    is paid on)."""
+    n_events = 150_000 if quick else 1_000_000
+    chains = 256
+    sim = Simulator(seed=0)
+    state = {"left": n_events}
+
+    def tick() -> None:
+        state["left"] -= 1
+        if state["left"] > 0:
+            sim.schedule(1.0, tick)
+
+    for i in range(chains):
+        sim.schedule(1.0 + i / chains, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "events": sim.events_fired,
+        "messages": 0,
+        "cs": 0,
+        "sim_ms": sim.now,
+    }
+
+
+def fig4_composition(quick: bool) -> Dict[str, float]:
+    """The acceptance microbench: Naimi/Naimi composition, Fig. 4 set-up."""
+    apps = 6 if quick else 20
+    n_cs = 15 if quick else 100
+    config = ExperimentConfig(
+        system="composition",
+        intra="naimi",
+        inter="naimi",
+        platform="grid5000",
+        n_clusters=9,
+        apps_per_cluster=apps,
+        n_cs=n_cs,
+        rho=float(9 * apps),
+        seed=1,
+    )
+    return _instrumented_experiment(config)
+
+
+def flat_suzuki(quick: bool) -> Dict[str, float]:
+    """Flat Suzuki-Kasami: broadcast requests make this message-bound."""
+    apps = 5 if quick else 20
+    n_cs = 8 if quick else 50
+    config = ExperimentConfig(
+        system="flat",
+        intra="suzuki",
+        platform="grid5000",
+        n_clusters=9,
+        apps_per_cluster=apps,
+        n_cs=n_cs,
+        rho=float(9 * apps),
+        seed=1,
+    )
+    return _instrumented_experiment(config)
+
+
+def crash_recovery(quick: bool) -> Dict[str, float]:
+    """Coordinator crash + heartbeat-driven failover: timer-cancel heavy."""
+    cycles = 4 if quick else 12
+    recovery = RecoveryConfig(
+        heartbeat_ms=10.0,
+        heartbeat_deadline_ms=35.0,
+        request_deadline_ms=60.0,
+        check_ms=10.0,
+    )
+    sim = Simulator(seed=11)
+    topo = uniform_topology(3, 5)
+    crashes = CrashController(sim)
+    net = Network(
+        sim, topo,
+        TwoTierLatency(topo, lan_ms=0.5, wan_ms=10.0, jitter=0.0),
+        crashes=crashes,
+    )
+    comp = Composition(sim, net, topo, intra="naimi", inter="naimi", standbys=1)
+    CompositionRecovery(sim, net, crashes, comp, config=recovery)
+    served: list = []
+    apps = [comp.peer_for(node) for node in comp.app_nodes]
+
+    def drive(peer, hold_ms=2.0, gap_ms=4.0):
+        state = {"left": cycles}
+
+        def step_release():
+            peer.release_cs()
+            state["left"] -= 1
+            if state["left"] > 0:
+                sim.schedule(gap_ms, peer.request_cs)
+
+        def on_granted():
+            served.append(peer.node)
+            sim.schedule(hold_ms, step_release)
+
+        peer.on_granted.append(on_granted)
+        peer.request_cs()
+
+    sim.schedule_at(0.0, drive, apps[0], 60.0)
+    crashes.schedule_crash(20.0, comp.coordinators[0].node)
+    for k, peer in enumerate(apps[1:]):
+        sim.schedule_at(30.0 + 2 * k, drive, peer)
+    wall = _timed_run(sim, 60_000.0)
+    expected = len(apps) * cycles
+    assert len(served) == expected, (
+        f"crash_recovery bench incomplete: {len(served)}/{expected}"
+    )
+    return {
+        "wall_s": wall,
+        "events": sim.events_fired,
+        "messages": net.stats.total,
+        "cs": len(served),
+        "sim_ms": sim.now,
+    }
+
+
+#: name -> scenario callable taking ``quick`` and returning raw counters.
+SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, float]]] = {
+    "kernel_spin": kernel_spin,
+    "fig4_composition": fig4_composition,
+    "flat_suzuki": flat_suzuki,
+    "crash_recovery": crash_recovery,
+}

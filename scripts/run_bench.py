@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Run the performance-benchmark suite and record the trajectory.
+
+Usage (from the repository root)::
+
+    python scripts/run_bench.py                  # quick mode, write BENCH_<stamp>.json
+    python scripts/run_bench.py --full           # paper-scale (minutes)
+    python scripts/run_bench.py --check latest   # also gate vs newest committed report
+    python scripts/run_bench.py --check BENCH_20260807T000000Z.json --threshold 0.2
+    python scripts/run_bench.py --no-write       # measure only, e.g. while iterating
+
+The regression gate normalizes events/sec by each report's
+``machine_score`` so reports from different machines stay comparable; see
+``docs/performance.md`` for how to read the output.
+
+Exit status: 0 on success, 1 when the regression gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for entry in (os.path.join(ROOT, "src"), ROOT):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from benchmarks.perf import (  # noqa: E402
+    SCENARIOS,
+    check_regression,
+    latest_bench_file,
+    load_report,
+    machine_score,
+    run_suite,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale scenarios (default: quick)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timings per scenario; best (min wall) is kept")
+    parser.add_argument("--scenario", action="append", choices=SCENARIOS,
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a BENCH_*.json file, or "
+                             "'latest' for the newest committed report")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional events/sec regression "
+                             "(default 0.20)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not write a BENCH_<stamp>.json report")
+    args = parser.parse_args(argv)
+
+    mode = "full" if args.full else "quick"
+    print(f"# benchmark suite ({mode} mode, repeats={args.repeats})")
+    score = machine_score()
+    print(f"machine_score: {score:,.0f} ops/s")
+    results = run_suite(quick=not args.full, repeats=args.repeats,
+                        scenarios=args.scenario)
+
+    width = max(len(n) for n in results)
+    header = (f"{'scenario':<{width}}  {'events':>9}  {'events/s':>11}  "
+              f"{'msgs/s':>11}  {'wall s':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, r in results.items():
+        print(f"{name:<{width}}  {r['events']:>9,}  {r['events_per_s']:>11,.0f}  "
+              f"{r['messages_per_s']:>11,.0f}  {r['wall_s']:>8.3f}")
+
+    written = None
+    if not args.no_write:
+        written = write_report(results, mode, ROOT, score=score)
+        print(f"wrote {os.path.relpath(written, ROOT)}")
+
+    if args.check:
+        base_path = args.check
+        if base_path == "latest":
+            base_path = latest_bench_file(ROOT, exclude=written)
+            if base_path is None:
+                print("no committed BENCH_*.json to compare against; "
+                      "gate skipped")
+                return 0
+        baseline = load_report(base_path)
+        current = {"machine_score": score, "scenarios": results}
+        failures = check_regression(baseline, current, args.threshold)
+        print(f"regression gate vs {os.path.basename(base_path)} "
+              f"(threshold {args.threshold:.0%}):", end=" ")
+        if failures:
+            print("FAIL")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("ok")
+        # informative: speedup on the acceptance microbench
+        base = baseline.get("scenarios", {}).get("fig4_composition")
+        cur = results.get("fig4_composition")
+        if base and cur:
+            print(f"fig4_composition speedup vs baseline: "
+                  f"{cur['events_per_s'] / base['events_per_s']:.2f}x raw")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,12 @@ class ExperimentConfig:
     n_clusters: int = 9
     apps_per_cluster: int = 20
     jitter: float = 0.0
+    #: Draw jitter factors in blocks from the same RNG stream (faster for
+    #: jittered paper-scale sweeps).  Off by default: the default mode is
+    #: draw-for-draw identical run to run and digest-pinned; batched mode
+    #: is deterministic but consumes the jitter stream in a different
+    #: pattern (see docs/performance.md).
+    batch_jitter: bool = False
     fifo: bool = False
     #: two-tier platform parameters (ignored elsewhere)
     lan_ms: float = 0.05

@@ -10,52 +10,211 @@ Uses ``concurrent.futures.ProcessPoolExecutor``; configurations and
 results are plain picklable dataclasses.  Falls back to in-process
 execution when ``max_workers`` is 1 (or when the platform cannot spawn
 workers), so callers can use it unconditionally.
+
+Performance notes
+-----------------
+* Work is submitted in *chunks* whose size is computed from the batch
+  and worker counts (4 chunks per worker balances scheduling overhead
+  against tail latency), instead of one ``pool.map`` over the batch.
+* Submission is per-chunk futures, so results stream back as they
+  complete (:func:`stream_configs_parallel`) and a worker dying
+  mid-sweep (``BrokenProcessPool``) only forces the **missing** chunks
+  to be redone serially — completed results are kept.
+* A sweep can reuse one warm executor across many calls
+  (``reuse_pool=True`` / :func:`warm_pool`), avoiding a process-spawn
+  per call; runs stay bit-identical either way.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import atexit
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..metrics.analysis import pooled
 from .config import ExperimentConfig
 from .runner import AggregateResult, ExperimentResult, run_experiment
 
-__all__ = ["run_many_parallel", "run_configs_parallel"]
+__all__ = [
+    "run_many_parallel",
+    "run_configs_parallel",
+    "stream_configs_parallel",
+    "warm_pool",
+    "shutdown_warm_pool",
+    "compute_chunksize",
+]
+
+#: Errors meaning "this platform/pool cannot run the batch": fall back.
+_POOL_ERRORS = (OSError, PermissionError, BrokenProcessPool)
+
+_warm_pool: Optional[ProcessPoolExecutor] = None
+_warm_workers: Optional[int] = None
+
+
+def warm_pool(max_workers: Optional[int] = None) -> ProcessPoolExecutor:
+    """Return the shared long-lived executor, creating it on first use.
+
+    Reusing one warm pool across a sweep's many ``run_configs_parallel``
+    calls skips a worker-process spawn (and numpy import) per call.  A
+    pool created for a different explicit ``max_workers`` is replaced.
+    """
+    global _warm_pool, _warm_workers
+    if _warm_pool is not None and (
+        max_workers is None or max_workers == _warm_workers
+    ):
+        return _warm_pool
+    shutdown_warm_pool()
+    _warm_pool = ProcessPoolExecutor(max_workers=max_workers)
+    _warm_workers = max_workers
+    return _warm_pool
+
+
+def shutdown_warm_pool() -> None:
+    """Shut the shared executor down (no-op when none exists).
+
+    Registered via :mod:`atexit`; call it explicitly after a sweep to
+    release the worker processes early."""
+    global _warm_pool, _warm_workers
+    if _warm_pool is not None:
+        _warm_pool.shutdown(wait=False, cancel_futures=True)
+        _warm_pool = None
+        _warm_workers = None
+
+
+atexit.register(shutdown_warm_pool)
+
+
+def compute_chunksize(n_items: int, workers: int) -> int:
+    """Chunk size giving ~4 chunks per worker.
+
+    Large enough to amortise pickling/dispatch on big sweeps, small
+    enough that one slow chunk cannot starve the pool's tail."""
+    return max(1, n_items // (max(1, workers) * 4))
+
+
+def _run_chunk(configs: List[ExperimentConfig]) -> List[ExperimentResult]:
+    return [run_experiment(c) for c in configs]
+
+
+def _effective_workers(max_workers: Optional[int]) -> int:
+    return max_workers if max_workers else (os.cpu_count() or 1)
+
+
+def _submit_chunks(
+    pool: ProcessPoolExecutor,
+    configs: Sequence[ExperimentConfig],
+    indices: Sequence[int],
+    chunksize: int,
+):
+    """Submit ``configs[i] for i in indices`` in chunks; returns
+    ``{future: [indices]}``."""
+    futures = {}
+    for start in range(0, len(indices), chunksize):
+        idxs = list(indices[start:start + chunksize])
+        fut = pool.submit(_run_chunk, [configs[i] for i in idxs])
+        futures[fut] = idxs
+    return futures
+
+
+def stream_configs_parallel(
+    configs: Sequence[ExperimentConfig],
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    reuse_pool: bool = False,
+) -> Iterator[Tuple[int, ExperimentResult]]:
+    """Yield ``(index, result)`` pairs as runs complete (arbitrary order).
+
+    The streaming front door for long sweeps: progress is observable
+    before the batch finishes, and a broken pool only costs the chunks
+    that had not completed (redone in-process, in index order).
+    ``reuse_pool=True`` runs on the shared :func:`warm_pool`.
+    """
+    if not configs:
+        raise ConfigurationError("stream_configs_parallel needs >= 1 config")
+    for config in configs:
+        config.validate()
+    return _stream_validated(configs, max_workers, chunksize, reuse_pool)
+
+
+def _stream_validated(
+    configs: Sequence[ExperimentConfig],
+    max_workers: Optional[int],
+    chunksize: Optional[int],
+    reuse_pool: bool,
+) -> Iterator[Tuple[int, ExperimentResult]]:
+    if max_workers == 1 or len(configs) == 1:
+        for i, config in enumerate(configs):
+            yield i, run_experiment(config)
+        return
+
+    done_idx: set = set()
+    results: dict = {}
+    try:
+        pool = warm_pool(max_workers) if reuse_pool else ProcessPoolExecutor(
+            max_workers=max_workers
+        )
+        try:
+            size = chunksize or compute_chunksize(
+                len(configs), _effective_workers(max_workers)
+            )
+            futures = _submit_chunks(pool, configs, range(len(configs)), size)
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Deterministic processing order (by first index) so a
+                # mid-batch failure always keeps the earliest results.
+                for fut in sorted(finished, key=lambda f: futures[f][0]):
+                    idxs = futures[fut]
+                    for i, result in zip(idxs, fut.result()):
+                        done_idx.add(i)
+                        results[i] = result
+                        yield i, result
+        finally:
+            if not reuse_pool:
+                pool.shutdown(wait=False, cancel_futures=True)
+    except _POOL_ERRORS:
+        # No subprocess capability here (sandbox forbids fork), or a
+        # worker died mid-batch: results already streamed are kept and
+        # only the missing configurations are redone in-process.  Runs
+        # are deterministic, so the redo is exact.
+        if reuse_pool:
+            shutdown_warm_pool()  # a broken shared pool must not linger
+        for i in range(len(configs)):
+            if i not in done_idx:
+                yield i, run_experiment(configs[i])
 
 
 def run_configs_parallel(
     configs: Sequence[ExperimentConfig],
     max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    reuse_pool: bool = False,
 ) -> List[ExperimentResult]:
     """Run independent configurations across worker processes.
 
     Results come back in the order of ``configs``.  ``max_workers=1``
     (or an executor failure, e.g. a sandbox forbidding fork) degrades
-    gracefully to serial execution.
+    gracefully to serial execution; a pool that breaks mid-batch only
+    redoes the configurations whose results are missing.
     """
-    if not configs:
-        raise ConfigurationError("run_configs_parallel needs >= 1 config")
-    for config in configs:
-        config.validate()
-    if max_workers == 1 or len(configs) == 1:
-        return [run_experiment(c) for c in configs]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(run_experiment, configs))
-    except (OSError, PermissionError, BrokenProcessPool):
-        # No subprocess capability here (sandbox forbids fork, or a
-        # worker died before producing results): redo the whole batch
-        # in-process.  Runs are deterministic, so a restart is safe.
-        return [run_experiment(c) for c in configs]
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    for i, result in stream_configs_parallel(
+        configs, max_workers=max_workers, chunksize=chunksize,
+        reuse_pool=reuse_pool,
+    ):
+        results[i] = result
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 def run_many_parallel(
     config: ExperimentConfig,
     seeds: Sequence[int] = (0, 1, 2),
     max_workers: Optional[int] = None,
+    reuse_pool: bool = False,
 ) -> AggregateResult:
     """Parallel counterpart of :func:`repro.experiments.run_many`:
     identical results, seeds spread over processes."""
@@ -63,7 +222,9 @@ def run_many_parallel(
         raise ConfigurationError("run_many_parallel needs at least one seed")
     runs = tuple(
         run_configs_parallel(
-            [config.with_(seed=s) for s in seeds], max_workers=max_workers
+            [config.with_(seed=s) for s in seeds],
+            max_workers=max_workers,
+            reuse_pool=reuse_pool,
         )
     )
     return AggregateResult(

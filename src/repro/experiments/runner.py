@@ -155,6 +155,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     config.validate()
     sim = Simulator(seed=config.seed)
     topology, latency = build_platform(config)
+    if config.batch_jitter:
+        latency.enable_batched_jitter()
     net = Network(sim, topology, latency, fifo=config.fifo)
     system = build_system(sim, net, topology, config)
 

@@ -145,7 +145,7 @@ class MutexPeer(Process):
                 f"{self.name}: request_cs() in state {self._state.value}"
             )
         self._state = PeerState.REQ
-        if self.sim.trace.active:
+        if "cs_request" in self.sim.trace.active_kinds:
             self.sim.trace.emit(
                 "cs_request", time=self.now, node=self.node, port=self.port
             )
@@ -161,7 +161,7 @@ class MutexPeer(Process):
                 f"{self.name}: release_cs() in state {self._state.value}"
             )
         self._state = PeerState.NO_REQ
-        if self.sim.trace.active:
+        if "cs_exit" in self.sim.trace.active_kinds:
             self.sim.trace.emit(
                 "cs_exit", time=self.now, node=self.node, port=self.port
             )
@@ -188,7 +188,7 @@ class MutexPeer(Process):
             raise ProtocolError(f"{self.name}: double grant")
         self._state = PeerState.CS
         self.cs_count += 1
-        if self.sim.trace.active:
+        if "cs_enter" in self.sim.trace.active_kinds:
             self.sim.trace.emit(
                 "cs_enter", time=self.now, node=self.node, port=self.port
             )

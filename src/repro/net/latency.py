@@ -9,12 +9,34 @@ multiplicative jitter to model WAN variance.
 All models receive the RNG explicitly so the network owns exactly one
 jitter stream per simulation — deterministic and independent of how many
 other streams exist (see :mod:`repro.sim.rng`).
+
+Hot path
+--------
+``one_way`` is called once per message, so the models precompute at
+construction time everything the per-call path would otherwise redo:
+
+* the full node-pair delay table (plain Python floats — scalar indexing
+  into a numpy array costs more than the rest of the call combined),
+  derived once from the cluster-pair matrix; topologies too large for a
+  dense node table fall back to a cluster-indexed table plus the
+  topology's dense cluster map;
+* the jitter constants: ``sigma`` and the lognormal ``mean = -sigma²/2``
+  that keeps the jitter factor mean-1.
+
+Optionally, :meth:`LatencyModel.enable_batched_jitter` switches the model
+to drawing lognormal factors in blocks from the same RNG stream — fewer
+generator calls for jittered paper-scale sweeps.  The default
+(unbatched) mode draws one factor per call exactly as before, so default
+runs stay draw-for-draw identical (``RunDigest``-pinned); batched mode is
+deterministic for a given seed and block size, but its draw-for-draw
+agreement with the unbatched mode is a numpy implementation detail, not
+a contract.  See ``docs/performance.md`` for the determinism contract.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -34,9 +56,84 @@ __all__ = [
 #: coordinator).  Small but non-zero so delivery is still an event.
 LOCAL_DELIVERY_MS = 0.001
 
+#: Largest topology for which a dense node-pair delay table is built
+#: (n² Python floats; 512 nodes ≈ 262k entries).  Above it, models fall
+#: back to the cluster-pair table — same results, one extra index hop.
+_NODE_TABLE_MAX_NODES = 512
+
+
+class _BatchedLognormal:
+    """Block-drawn lognormal jitter factors from a shared RNG stream.
+
+    Refills a block of ``block`` factors at a time; deterministic for a
+    given (seed, sigma, block) but not *guaranteed* draw-for-draw
+    identical to per-call draws, which is why batching is opt-in."""
+
+    __slots__ = ("mean", "sigma", "block", "_buf", "_idx")
+
+    def __init__(self, mean: float, sigma: float, block: int) -> None:
+        if block < 1:
+            raise NetworkError(f"jitter block size must be >= 1, got {block}")
+        self.mean = mean
+        self.sigma = sigma
+        self.block = int(block)
+        self._buf: Optional[np.ndarray] = None
+        self._idx = 0
+
+    def factor(self, rng: np.random.Generator) -> float:
+        buf = self._buf
+        if buf is None or self._idx >= self.block:
+            buf = self._buf = rng.lognormal(
+                mean=self.mean, sigma=self.sigma, size=self.block
+            )
+            self._idx = 0
+        value = buf[self._idx]
+        self._idx += 1
+        return float(value)
+
 
 class LatencyModel(ABC):
     """Maps a directed node pair to a one-way delay (ms)."""
+
+    #: Jitter state shared by the concrete models (set in `_init_jitter`).
+    jitter: float = 0.0
+    _sigma: float = 0.0
+    _lognorm_mean: float = 0.0
+    _batch: Optional[_BatchedLognormal] = None
+
+    def _init_jitter(self, jitter: float) -> None:
+        """Hoist the per-call jitter constants into construction."""
+        self.jitter = float(jitter)
+        self._sigma = self.jitter
+        # sigma chosen so std of the factor ~= jitter for small jitter;
+        # mean = -sigma^2/2 keeps the factor mean ~1 (no latency bias).
+        self._lognorm_mean = -0.5 * self._sigma * self._sigma
+        self._batch = None
+
+    def _jittered(self, base: float, rng: np.random.Generator) -> float:
+        """Apply the multiplicative lognormal jitter factor to ``base``."""
+        batch = self._batch
+        if batch is not None:
+            return base * batch.factor(rng)
+        return base * float(
+            rng.lognormal(mean=self._lognorm_mean, sigma=self._sigma)
+        )
+
+    def enable_batched_jitter(self, block: int = 256) -> None:
+        """Draw jitter factors in blocks of ``block`` from the RNG stream.
+
+        A no-op for jitter-free models.  Changes the RNG consumption
+        pattern (see module docstring), so only enable it when the run is
+        not being compared against unbatched digests."""
+        if self._sigma > 0.0:
+            self._batch = _BatchedLognormal(
+                self._lognorm_mean, self._sigma, block
+            )
+
+    @property
+    def batched_jitter(self) -> bool:
+        """Whether batched jitter drawing is enabled."""
+        return self._batch is not None
 
     @abstractmethod
     def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
@@ -52,13 +149,35 @@ def _apply_jitter(
 ) -> float:
     """Multiply ``base`` by a lognormal factor with relative spread
     ``jitter`` (0 disables).  The factor has mean ~1 so jitter does not
-    bias the average latency."""
+    bias the average latency.
+
+    Kept for API compatibility (tests and external callers); the models
+    themselves use the constants hoisted by ``_init_jitter``."""
     if jitter <= 0.0:
         return base
-    # sigma chosen so std of the factor ~= jitter for small jitter.
     sigma = float(jitter)
     factor = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
     return base * factor
+
+
+def _node_delay_table(
+    topology: GridTopology, cluster_table: List[List[float]]
+) -> Optional[List[List[float]]]:
+    """Dense ``[src][dst]`` one-way delay table of plain Python floats.
+
+    ``None`` when the topology is too large for a dense table (quadratic
+    memory); the diagonal holds :data:`LOCAL_DELIVERY_MS`."""
+    n = topology.n_nodes
+    if n > _NODE_TABLE_MAX_NODES:
+        return None
+    cluster_of = [topology.cluster_of(node) for node in range(n)]
+    table: List[List[float]] = []
+    for src in range(n):
+        row_base = cluster_table[cluster_of[src]]
+        row = [row_base[cluster_of[dst]] for dst in range(n)]
+        row[src] = LOCAL_DELIVERY_MS
+        table.append(row)
+    return table
 
 
 class ConstantLatency(LatencyModel):
@@ -72,12 +191,14 @@ class ConstantLatency(LatencyModel):
         if delay_ms < 0:
             raise NetworkError(f"negative latency {delay_ms}")
         self.delay_ms = float(delay_ms)
-        self.jitter = float(jitter)
+        self._init_jitter(jitter)
 
     def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
         if src == dst:
             return LOCAL_DELIVERY_MS
-        return _apply_jitter(self.delay_ms, self.jitter, rng)
+        if self._sigma <= 0.0:
+            return self.delay_ms
+        return self._jittered(self.delay_ms, rng)
 
 
 class TwoTierLatency(LatencyModel):
@@ -104,17 +225,28 @@ class TwoTierLatency(LatencyModel):
         self.topology = topology
         self.lan_ms = float(lan_ms)
         self.wan_ms = float(wan_ms)
-        self.jitter = float(jitter)
+        self._init_jitter(jitter)
+        n = topology.n_clusters
+        cluster_table = [
+            [self.lan_ms if i == j else self.wan_ms for j in range(n)]
+            for i in range(n)
+        ]
+        self._cluster_of = [topology.cluster_of(v) for v in range(topology.n_nodes)]
+        self._cluster_table = cluster_table
+        self._node_table = _node_delay_table(topology, cluster_table)
 
     def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
         if src == dst:
             return LOCAL_DELIVERY_MS
-        base = (
-            self.lan_ms
-            if self.topology.same_cluster(src, dst)
-            else self.wan_ms
-        )
-        return _apply_jitter(base, self.jitter, rng)
+        table = self._node_table
+        if table is not None:
+            base = table[src][dst]
+        else:
+            cluster_of = self._cluster_of
+            base = self._cluster_table[cluster_of[src]][cluster_of[dst]]
+        if self._sigma <= 0.0:
+            return base
+        return self._jittered(base, rng)
 
 
 class MatrixLatency(LatencyModel):
@@ -152,14 +284,26 @@ class MatrixLatency(LatencyModel):
         self.topology = topology
         self.rtt_ms = matrix
         self._one_way = matrix / 2.0
-        self.jitter = float(jitter)
+        self._init_jitter(jitter)
+        # Precomputed fast-path tables (plain floats; `.tolist()` yields
+        # exactly the float64 values the numpy path produced).
+        cluster_table = self._one_way.tolist()
+        self._cluster_of = [topology.cluster_of(v) for v in range(topology.n_nodes)]
+        self._cluster_table = cluster_table
+        self._node_table = _node_delay_table(topology, cluster_table)
 
     def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
         if src == dst:
             return LOCAL_DELIVERY_MS
-        ci = self.topology.cluster_of(src)
-        cj = self.topology.cluster_of(dst)
-        return _apply_jitter(float(self._one_way[ci, cj]), self.jitter, rng)
+        table = self._node_table
+        if table is not None:
+            base = table[src][dst]
+        else:
+            cluster_of = self._cluster_of
+            base = self._cluster_table[cluster_of[src]][cluster_of[dst]]
+        if self._sigma <= 0.0:
+            return base
+        return self._jittered(base, rng)
 
     def mean_one_way(self, src_cluster: int, dst_cluster: int) -> float:
         """Jitter-free one-way delay between two clusters (ms)."""

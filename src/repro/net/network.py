@@ -150,16 +150,17 @@ class Network:
         if not 0 <= src < self.topology.n_nodes:
             raise NetworkError(f"unknown source node {src}")
         msg = Message(src, dst, port, kind, payload, size)
-        msg.sent_at = self.sim.now
+        sim = self.sim
+        msg.sent_at = sim._now
         if self.crashes is not None and self.crashes.is_down(src):
             # A crashed node emits nothing: not even a *sent* statistic
             # (its processes are halted; this path only triggers when an
             # unbound caller keeps driving a peer on a dead node).
             return msg
         self.stats.record(msg)
-        if self.sim.trace.active:
-            self.sim.trace.emit(
-                "send", time=self.sim.now, src=src, dst=dst, port=port,
+        if "send" in sim.trace.active_kinds:
+            sim.trace.emit(
+                "send", time=sim._now, src=src, dst=dst, port=port,
                 kind=kind, payload=msg.payload,
             )
         if self.faults is not None and self.faults.should_drop(
@@ -189,8 +190,9 @@ class Network:
     def _schedule_delivery(
         self, msg: Message, extra_factor: float, advance_flow: bool = True
     ) -> None:
+        sim = self.sim
         delay = self.latency.one_way(msg.src, msg.dst, self._rng) * extra_factor
-        due = self.sim.now + delay
+        due = sim._now + delay
         if self.fifo:
             flow = (msg.src, msg.dst, msg.port)
             due = max(due, self._flow_clock.get(flow, 0.0))
@@ -198,9 +200,9 @@ class Network:
                 self._flow_clock[flow] = due
         msg.seq = self._seq
         self._seq += 1
-        self.sim.schedule_at(
-            due, self._deliver, msg, label=f"deliver:{msg.kind}@{msg.dst}"
-        )
+        # Handle-free scheduling: deliveries are never cancelled, and one
+        # is created per message — the dominant event source by far.
+        sim.post_at(due, self._deliver, (msg,))
 
     def _deliver(self, msg: Message) -> None:
         if self.crashes is not None and self.crashes.lost_in_flight(
@@ -214,10 +216,11 @@ class Network:
             # The agent deregistered while the message was in flight
             # (e.g. teardown); drop silently like a closed UDP socket.
             return
-        msg.delivered_at = self.sim.now
-        if self.sim.trace.active:
-            self.sim.trace.emit(
-                "deliver", time=self.sim.now, src=msg.src, dst=msg.dst,
+        sim = self.sim
+        msg.delivered_at = sim._now
+        if "deliver" in sim.trace.active_kinds:
+            sim.trace.emit(
+                "deliver", time=sim._now, src=msg.src, dst=msg.dst,
                 port=msg.port, kind=msg.kind, payload=msg.payload,
             )
         handler(msg)

@@ -38,8 +38,19 @@ class MessageStats:
         self.by_port: Counter[str] = Counter()
         self.inter_by_port: Counter[str] = Counter()
         self.by_kind: Counter[str] = Counter()
+        # Plain-int accumulators on the per-send path; the numpy view is
+        # materialised on demand (scalar `ndarray[i, j] += 1` costs more
+        # than the rest of `record` combined).
         n = self.topology.n_clusters
-        self.cluster_matrix = np.zeros((n, n), dtype=np.int64)
+        self._matrix = [[0] * n for _ in range(n)]
+        self._cluster_of = [
+            self.topology.cluster_of(v) for v in range(self.topology.n_nodes)
+        ]
+
+    @property
+    def cluster_matrix(self) -> np.ndarray:
+        """Sent-message counts as a ``(n_clusters, n_clusters)`` array."""
+        return np.asarray(self._matrix, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     def record(self, msg: Message) -> None:
@@ -50,12 +61,14 @@ class MessageStats:
         self.bytes_total += msg.size
         self.by_port[msg.port] += 1
         self.by_kind[msg.kind] += 1
-        if msg.src == msg.dst:
+        src, dst = msg.src, msg.dst
+        if src == dst:
             self.local += 1
             return
-        ci = self.topology.cluster_of(msg.src)
-        cj = self.topology.cluster_of(msg.dst)
-        self.cluster_matrix[ci, cj] += 1
+        cluster_of = self._cluster_of
+        ci = cluster_of[src]
+        cj = cluster_of[dst]
+        self._matrix[ci][cj] += 1
         if ci == cj:
             self.intra_cluster += 1
         else:

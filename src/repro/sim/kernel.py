@@ -1,7 +1,7 @@
 """The discrete-event simulation kernel.
 
 The kernel is a classic calendar-queue simulator: a binary heap of
-:class:`~repro.sim.event.Event` objects ordered by ``(time, seq)``.  The
+``(time, seq, event)`` entries ordered by ``(time, seq)``.  The
 simulated clock only moves when an event fires, so a run is fully
 deterministic given the same schedule and the same RNG seeds.
 
@@ -11,6 +11,25 @@ The library uses **milliseconds** throughout, matching the paper's
 measurements (Grid'5000 RTTs of 3-100 ms, critical sections of 10 ms).
 Nothing in the kernel depends on the unit, but mixing units across layers
 is the easiest way to get nonsense results, so it is fixed by convention.
+
+Hot path
+--------
+Paper-scale sweeps fire millions of events, so the kernel keeps the
+per-event work minimal (see ``docs/performance.md``):
+
+* heap entries are ``(time, seq, event)`` tuples, so ``heappush``/
+  ``heappop`` compare keys entirely in C (``seq`` is unique: the
+  comparison never reaches the event object);
+* :meth:`Simulator.run` hoists the ``until``/``max_events`` bound checks
+  out of the loop — a run without bounds executes a tight pop/fire loop;
+* :meth:`Simulator.post_at` schedules without allocating an
+  :class:`~repro.sim.event.EventHandle` for internal callers that never
+  cancel (message delivery is the dominant source of events);
+* cancelled events are removed *lazily* (tombstones popped on
+  encounter), but the kernel counts them and compacts the heap in place
+  once tombstones outnumber live events — heavy cancellers such as the
+  recovery layer's re-armed deadline timers stay O(live) instead of
+  growing the heap without bound.
 
 Typical usage::
 
@@ -31,6 +50,10 @@ from .trace import Tracer
 
 __all__ = ["Simulator"]
 
+#: Compaction is considered only past this many tombstones (a small heap
+#: is cheap to scan anyway, and recovering a handful of slots is noise).
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
@@ -48,10 +71,11 @@ class Simulator:
     def __init__(self, seed: Optional[int] = None, trace: Optional[Tracer] = None) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._running = False
         self._stopped = False
         self._fired = 0
+        self._cancelled = 0  # tombstones still physically in the heap
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer()
 
@@ -70,9 +94,16 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the calendar (including cancelled ones
-        that have not been popped yet)."""
-        return len(self._heap)
+        """Exact number of live (non-cancelled) events in the calendar."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (tombstones).
+
+        Exposed for the compaction heuristic and for tests; drops to zero
+        after a compaction or once the tombstones are popped."""
+        return self._cancelled
 
     # ------------------------------------------------------------------ #
     # scheduling
@@ -109,9 +140,29 @@ class Simulator:
         if not callable(callback):
             raise SimulationError(f"callback must be callable, got {callback!r}")
         event = Event(time, self._seq, callback, args, label=label)
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
+
+    def post_at(
+        self, time: float, callback: Callable[..., Any], args: tuple = ()
+    ) -> Event:
+        """Handle-free scheduling at absolute time ``time`` (hot path).
+
+        Identical ordering semantics to :meth:`schedule_at` but skips the
+        :class:`EventHandle` allocation, the label, and the callable check
+        — for internal callers (message delivery, workload stepping) that
+        schedule in bulk and never cancel.  Returns the raw
+        :class:`Event`; treat it as opaque.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        event = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return event
 
     # ------------------------------------------------------------------ #
     # execution
@@ -122,14 +173,16 @@ class Simulator:
         Returns ``True`` if an event fired, ``False`` if the calendar was
         empty.  Cancelled events are silently discarded.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.cancelled = True  # a fired event can no longer be cancelled
             self._fired += 1
-            if self.trace.active:
+            if "event" in self.trace.active_kinds:
                 self.trace.emit("event", time=event.time, label=event.label)
             event.callback(*event.args)
             return True
@@ -159,11 +212,57 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
-        fired = 0
-        exhausted = False  # drained, or next event beyond `until`
+        heap = self._heap
+        pop = heapq.heappop
+        trace = self.trace
         try:
+            if until is None and max_events is None:
+                # Fast path: no bound checks per iteration.  `heap` stays
+                # a valid alias because compaction mutates it in place.
+                while heap and not self._stopped:
+                    event = pop(heap)[2]
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    self._now = event.time
+                    event.cancelled = True
+                    self._fired += 1
+                    if "event" in trace.active_kinds:
+                        trace.emit("event", time=event.time, label=event.label)
+                    event.callback(*event.args)
+                return self._now
+
+            if max_events is None:
+                # `until`-only: the run_experiment path.  Compare the
+                # heap key directly — no peek call, no budget checks.
+                exhausted = False
+                while not self._stopped:
+                    if not heap:
+                        exhausted = True
+                        break
+                    t, _, event = heap[0]
+                    if event.cancelled:
+                        pop(heap)
+                        self._cancelled -= 1
+                        continue
+                    if t > until:
+                        exhausted = True
+                        break
+                    pop(heap)
+                    self._now = t
+                    event.cancelled = True
+                    self._fired += 1
+                    if "event" in trace.active_kinds:
+                        trace.emit("event", time=t, label=event.label)
+                    event.callback(*event.args)
+                if exhausted and self._now < until:
+                    self._now = until
+                return self._now
+
+            fired = 0
+            exhausted = False  # drained, or next event beyond `until`
             while not self._stopped:
-                if max_events is not None and fired >= max_events:
+                if fired >= max_events:
                     break
                 event = self._peek()
                 if event is None:
@@ -172,8 +271,14 @@ class Simulator:
                 if until is not None and event.time > until:
                     exhausted = True
                     break
-                self.step()
+                pop(heap)  # the peeked head: live by construction
+                self._now = event.time
+                event.cancelled = True
+                self._fired += 1
                 fired += 1
+                if "event" in trace.active_kinds:
+                    trace.emit("event", time=event.time, label=event.label)
+                event.callback(*event.args)
             if exhausted and until is not None and self._now < until:
                 self._now = until
         finally:
@@ -186,20 +291,47 @@ class Simulator:
 
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without firing it."""
-        while self._heap:
-            event = self._heap[0]
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
+                self._cancelled -= 1
                 continue
             return event
         return None
+
+    # ------------------------------------------------------------------ #
+    # lazy-deletion accounting
+    # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """Record one cancellation of a still-queued event (called by
+        :meth:`EventHandle.cancel`) and compact when tombstones dominate."""
+        self._cancelled += 1
+        if (
+            self._cancelled > _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone and re-heapify **in place**.
+
+        In place matters: :meth:`run` holds a local alias to the heap
+        list, and callbacks may trigger a compaction mid-run via
+        ``cancel()``.  Rebuilding preserves firing order exactly because
+        ``(time, seq)`` keys are unique."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------ #
     # introspection helpers (used by tests and the tracer)
     # ------------------------------------------------------------------ #
     def pending_events(self) -> Iterable[Event]:
         """Yield pending (non-cancelled) events in an unspecified order."""
-        return (e for e in self._heap if not e.cancelled)
+        return (entry[2] for entry in self._heap if not entry[2].cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

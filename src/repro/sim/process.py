@@ -32,6 +32,7 @@ class Process:
         self.name = name
         self._timers: list[EventHandle] = []
         self._halted = False
+        self._timer_label = f"{name}.timer"  # hoisted off the set_timer path
 
     # ------------------------------------------------------------------ #
     # time helpers
@@ -57,7 +58,7 @@ class Process:
             dead.cancelled = True
             return EventHandle(dead)
         handle = self.sim.schedule(
-            delay, fn, *args, label=label or f"{self.name}.timer"
+            delay, fn, *args, label=label or self._timer_label
         )
         self._timers.append(handle)
         # Opportunistically compact the tracking list so long-lived

@@ -5,6 +5,20 @@ string plus keyword fields — through a shared :class:`Tracer`.  With no
 subscribers the emit path is a single attribute check, so tracing costs
 nothing in production runs; tests and the safety/liveness checkers attach
 subscribers to observe the simulation without instrumenting the algorithms.
+
+Per-kind gating
+---------------
+Subscribing to one kind must not tax emitters of every other kind: a run
+with only a ``cs_enter`` checker attached fires millions of ``event`` and
+``send`` records' worth of *emitter* work if emitters gate on the global
+:attr:`Tracer.active` flag alone.  The tracer therefore maintains
+:attr:`Tracer.active_kinds` — the set of kinds with at least one
+subscriber (a match-everything sentinel when a ``"*"`` subscriber exists)
+— and hot emitters guard with ``if "send" in trace.active_kinds:`` so the
+keyword-argument packing and record construction are skipped entirely for
+unobserved kinds.  :meth:`emit` applies the same gate internally, so
+emitters that still check the coarse :attr:`active` flag stay correct,
+just marginally slower.
 """
 
 from __future__ import annotations
@@ -35,29 +49,56 @@ class TraceRecord:
         return f"<{self.kind} {inner}>"
 
 
+class _AllKinds:
+    """Sentinel for :attr:`Tracer.active_kinds` when a ``"*"`` subscriber
+    exists: membership is true for every kind."""
+
+    __slots__ = ()
+
+    def __contains__(self, kind: object) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<all kinds>"
+
+
+_ALL_KINDS = _AllKinds()
+
+
 class Tracer:
     """Pub/sub hub for trace records.
 
     Subscribers register for a specific kind or for ``"*"`` (all kinds).
-    :attr:`active` is maintained so emitters can skip building the record
-    dict entirely when nobody is listening.
+    :attr:`active` (any subscriber at all) and :attr:`active_kinds` (the
+    per-kind active set) are maintained so emitters can skip building the
+    record dict entirely when nobody is listening for that kind.
     """
 
     def __init__(self) -> None:
         self._subs: Dict[str, List[Callable[[TraceRecord], None]]] = defaultdict(list)
         self.active = False
+        #: Kinds with >= 1 subscriber; supports ``kind in active_kinds``.
+        self.active_kinds: Any = frozenset()
+
+    def _refresh(self) -> None:
+        kinds = {k for k, subs in self._subs.items() if subs}
+        self.active = bool(kinds)
+        self.active_kinds = _ALL_KINDS if "*" in kinds else frozenset(kinds)
 
     def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Register ``fn`` to receive every record of ``kind`` (or all
         records when ``kind == "*"``)."""
         self._subs[kind].append(fn)
-        self.active = True
+        self._refresh()
 
     def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Remove a subscriber registered with :meth:`subscribe`."""
         self._subs[kind].remove(fn)
-        if not any(self._subs.values()):
-            self.active = False
+        self._refresh()
+
+    def wants(self, kind: str) -> bool:
+        """Whether any subscriber would receive a record of ``kind``."""
+        return kind in self.active_kinds
 
     def emit(self, kind: str, /, **fields: Any) -> None:
         """Deliver a record to the matching subscribers synchronously.
@@ -67,7 +108,7 @@ class Tracer:
         kind stays authoritative under ``record.kind``; a field of the
         same name is reachable via ``record.fields["kind"]``).
         """
-        if not self.active:
+        if kind not in self.active_kinds:
             return
         record = TraceRecord(kind, fields)
         for fn in self._subs.get(kind, ()):

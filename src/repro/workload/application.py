@@ -88,6 +88,9 @@ class ApplicationProcess(Process):
         self._requested_at: Optional[float] = None
         self._granted_at: Optional[float] = None
         self._rng = self.rng("think")
+        # Timer labels hoisted off the per-CS path (2 f-strings per CS).
+        self._cs_label = f"{self.name}.cs"
+        self._think_label = f"{self.name}.think"
         peer.on_granted.append(self._on_granted)
         if self.n_cs == 0 and on_done is not None:
             on_done(self)
@@ -114,7 +117,7 @@ class ApplicationProcess(Process):
     # ------------------------------------------------------------------ #
     def _request(self) -> None:
         self._requested_at = self.now
-        if self.sim.trace.active:
+        if "app_request" in self.sim.trace.active_kinds:
             self.sim.trace.emit(
                 "app_request", time=self.now, node=self.peer.node,
                 cluster=self.cluster,
@@ -132,7 +135,7 @@ class ApplicationProcess(Process):
                 f"{self.name}: CS granted without an outstanding request"
             )
         self._granted_at = self.now
-        self.set_timer(self.alpha, self._release, label=f"{self.name}.cs")
+        self.set_timer(self.alpha, self._release, label=self._cs_label)
 
     def _release(self) -> None:
         assert self._requested_at is not None and self._granted_at is not None
@@ -151,7 +154,7 @@ class ApplicationProcess(Process):
         self.completed += 1
         if not self.done:
             self.set_timer(
-                self._draw_think(), self._request, label=f"{self.name}.think"
+                self._draw_think(), self._request, label=self._think_label
             )
         elif self.on_done is not None:
             self.on_done(self)

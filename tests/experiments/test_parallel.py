@@ -1,10 +1,20 @@
 """Unit tests for the process-parallel runner."""
 
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import ExperimentConfig, run_experiment, run_many
-from repro.experiments.parallel import run_configs_parallel, run_many_parallel
+from repro.experiments.parallel import (
+    compute_chunksize,
+    run_configs_parallel,
+    run_many_parallel,
+    shutdown_warm_pool,
+    stream_configs_parallel,
+    warm_pool,
+)
 
 CFG = ExperimentConfig(n_clusters=2, apps_per_cluster=2, n_cs=3, rho=4.0,
                        platform="two-tier")
@@ -34,31 +44,100 @@ def test_single_worker_falls_back_to_serial():
     assert len(results) == 2
 
 
-def test_broken_process_pool_falls_back_to_serial(monkeypatch):
-    """A pool whose workers die mid-flight (e.g. OOM-killed) must not
-    lose the batch: the runner redoes it serially."""
-    from concurrent.futures.process import BrokenProcessPool
+def test_stream_yields_every_index():
+    configs = [CFG.with_(seed=s) for s in (0, 1, 2)]
+    got = dict(stream_configs_parallel(configs, max_workers=2))
+    assert sorted(got) == [0, 1, 2]
+    for i, config in enumerate(configs):
+        assert got[i].total_messages == run_experiment(config).total_messages
 
+
+def test_compute_chunksize():
+    assert compute_chunksize(3, 2) == 1  # never zero
+    assert compute_chunksize(400, 8) == 12  # ~4 chunks per worker
+    assert compute_chunksize(0, 4) == 1
+    assert compute_chunksize(100, 0) == 25  # degenerate worker count
+
+
+def test_warm_pool_is_reused_and_matches_serial():
+    shutdown_warm_pool()
+    configs = [CFG.with_(seed=s) for s in (0, 1)]
+    first = run_configs_parallel(configs, max_workers=2, reuse_pool=True)
+    pool = warm_pool(2)
+    second = run_configs_parallel(configs, max_workers=2, reuse_pool=True)
+    assert warm_pool(2) is pool  # same executor across calls
+    serial = [run_experiment(c) for c in configs]
+    assert [r.total_messages for r in first] == \
+        [r.total_messages for r in serial]
+    assert [r.total_messages for r in second] == \
+        [r.total_messages for r in serial]
+    shutdown_warm_pool()
+
+
+def test_broken_process_pool_falls_back_to_serial(monkeypatch):
+    """A pool whose workers die immediately (e.g. a sandbox forbidding
+    fork) must not lose the batch: every config is redone serially."""
     import repro.experiments.parallel as parallel_mod
 
     class ExplodingPool:
         def __init__(self, *args, **kwargs):
             pass
 
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def map(self, fn, items):
+        def submit(self, fn, *args):
             raise BrokenProcessPool("worker died")
+
+        def shutdown(self, **kwargs):
+            pass
 
     monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", ExplodingPool)
     configs = [CFG, CFG.with_(seed=1)]
     results = run_configs_parallel(configs, max_workers=2)
     assert [r.config.seed for r in results] == [0, 1]
     assert all(r.total_messages > 0 for r in results)
+
+
+def test_broken_pool_mid_batch_redoes_only_missing(monkeypatch):
+    """A worker dying mid-sweep costs only the chunks that had not
+    completed; finished results are kept, not re-run."""
+    import repro.experiments.parallel as parallel_mod
+
+    configs = [CFG.with_(seed=s) for s in (0, 1, 2)]
+    real = [run_experiment(c) for c in configs]
+
+    class HalfBrokenPool:
+        """First submitted chunk succeeds, the rest break."""
+
+        calls = 0
+
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def submit(self, fn, chunk):
+            fut = Future()
+            if HalfBrokenPool.calls == 0:
+                fut.set_result([real[0]])
+            else:
+                fut.set_exception(BrokenProcessPool("worker died"))
+            HalfBrokenPool.calls += 1
+            return fut
+
+        def shutdown(self, **kwargs):
+            pass
+
+    redone = []
+    real_run = parallel_mod.run_experiment
+
+    def counting_run(config):
+        redone.append(config.seed)
+        return real_run(config)
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", HalfBrokenPool)
+    monkeypatch.setattr(parallel_mod, "run_experiment", counting_run)
+    results = run_configs_parallel(configs, max_workers=2, chunksize=1)
+    assert redone == [1, 2]  # seed 0 came from the pool and was kept
+    assert [r.config.seed for r in results] == [0, 1, 2]
+    assert [r.total_messages for r in results] == \
+        [r.total_messages for r in real]
 
 
 def test_validation():
@@ -68,3 +147,5 @@ def test_validation():
         run_many_parallel(CFG, seeds=())
     with pytest.raises(ConfigurationError):
         run_configs_parallel([CFG.with_(rho=-1.0)])
+    with pytest.raises(ConfigurationError):
+        stream_configs_parallel([])

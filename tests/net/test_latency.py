@@ -79,3 +79,83 @@ def test_zero_jitter_is_deterministic():
     model = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0, jitter=0.0)
     rng = np.random.default_rng(123)
     assert {model.one_way(0, 3, rng) for _ in range(10)} == {10.0}
+
+
+# --------------------------------------------------------------------- #
+# precomputed delay tables and jitter fast paths
+# --------------------------------------------------------------------- #
+def test_node_table_matches_cluster_math():
+    topo = uniform_topology(3, 4)
+    rtt = [[0.2, 8.0, 14.0], [6.0, 0.4, 20.0], [12.0, 18.0, 0.6]]
+    model = MatrixLatency(topo, rtt)
+    for src in range(topo.n_nodes):
+        for dst in range(topo.n_nodes):
+            got = model.one_way(src, dst, RNG)
+            if src == dst:
+                assert got == LOCAL_DELIVERY_MS
+            else:
+                ci, cj = topo.cluster_of(src), topo.cluster_of(dst)
+                assert got == rtt[ci][cj] / 2.0
+                assert got == model.mean_one_way(ci, cj)
+
+
+def test_large_topology_falls_back_to_cluster_table(monkeypatch):
+    import repro.net.latency as latency_mod
+
+    topo = uniform_topology(2, 3)
+    dense = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0)
+    assert dense._node_table is not None
+    monkeypatch.setattr(latency_mod, "_NODE_TABLE_MAX_NODES", 2)
+    sparse = TwoTierLatency(topo, lan_ms=0.1, wan_ms=10.0)
+    assert sparse._node_table is None  # dense table skipped
+    for src in range(topo.n_nodes):
+        for dst in range(topo.n_nodes):
+            assert sparse.one_way(src, dst, RNG) == dense.one_way(src, dst, RNG)
+
+
+def test_unbatched_jitter_matches_reference_formula():
+    # The default mode must stay draw-for-draw identical to the seed
+    # implementation: one lognormal(mean=-sigma^2/2, sigma) per call.
+    sigma = 0.3
+    model = ConstantLatency(10.0, jitter=sigma)
+    rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+    seq = [model.one_way(0, 1, rng_a) for _ in range(20)]
+    ref_seq = [
+        10.0 * float(rng_b.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+        for _ in range(20)
+    ]
+    assert seq == ref_seq
+
+
+def test_batched_jitter_flag():
+    model = ConstantLatency(10.0, jitter=0.2)
+    assert not model.batched_jitter
+    model.enable_batched_jitter(block=16)
+    assert model.batched_jitter
+
+
+def test_batched_jitter_same_seed_same_sequence():
+    def run(block):
+        model = ConstantLatency(10.0, jitter=0.2)
+        model.enable_batched_jitter(block=block)
+        rng = np.random.default_rng(3)
+        return [model.one_way(0, 1, rng) for _ in range(40)]
+
+    assert run(16) == run(16)  # deterministic, including block refills
+    samples = np.array(run(16))
+    assert samples.std() > 0  # jitter actually applied
+    assert np.all(samples > 0)
+
+
+def test_batched_jitter_noop_without_jitter():
+    model = ConstantLatency(10.0)
+    model.enable_batched_jitter()
+    assert not model.batched_jitter
+    assert model.one_way(0, 1, RNG) == 10.0
+
+
+def test_batched_jitter_rejects_bad_block():
+    from repro.net.latency import _BatchedLognormal
+
+    with pytest.raises(NetworkError):
+        _BatchedLognormal(0.0, 0.2, 0)

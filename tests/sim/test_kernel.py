@@ -252,3 +252,88 @@ def test_pending_events_iterator_skips_cancelled():
     labels = [e.label for e in sim.pending_events()]
     assert labels == ["keep"]
     assert h1.active
+
+
+# --------------------------------------------------------------------- #
+# exact pending counts, heap compaction, handle-free scheduling
+# --------------------------------------------------------------------- #
+def test_pending_is_exact_live_count():
+    sim = Simulator(seed=1)
+    h1 = sim.schedule(1.0, lambda: None)
+    h2 = sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    assert sim.cancelled_pending == 0
+    h2.cancel()
+    assert sim.pending == 1  # cancelled events are not pending
+    assert sim.cancelled_pending == 1
+    h2.cancel()  # double-cancel must not double-count
+    assert sim.pending == 1
+    assert sim.cancelled_pending == 1
+    sim.run()
+    assert sim.pending == 0
+    assert sim.cancelled_pending == 0
+    assert h1.active is False
+
+
+def test_cancel_after_fire_does_not_corrupt_counts():
+    sim = Simulator(seed=1)
+    handle = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(max_events=1)
+    handle.cancel()  # already fired: a no-op, not a tombstone
+    assert sim.pending == 1
+    assert sim.cancelled_pending == 0
+
+
+def test_heap_compaction_bounds_tombstones():
+    sim = Simulator(seed=1)
+    fired = []
+    handles = [sim.schedule(10.0 + i, fired.append, i) for i in range(300)]
+    for h in handles[100:]:
+        h.cancel()
+    # Compaction triggered mid-sweep: the calendar physically shrank and
+    # far fewer than 200 tombstones remain.
+    assert sim.pending == 100
+    assert sim.cancelled_pending < 100
+    assert len(sim._heap) < 300
+    sim.run()
+    assert fired == list(range(100))
+    assert sim.events_fired == 100
+
+
+def test_compaction_during_run_preserves_order():
+    sim = Simulator(seed=1)
+    fired = []
+    handles = [sim.schedule(10.0 + i, fired.append, i) for i in range(150)]
+
+    def cancel_tail():
+        # 100 tombstones in a 150-event calendar: crosses both
+        # compaction thresholds (> 64 and > half the heap) mid-run.
+        for h in handles[50:]:
+            h.cancel()
+
+    sim.schedule(1.0, cancel_tail)
+    sim.run()  # compaction fires inside the hot loop
+    assert fired == list(range(50))
+    assert sim.pending == 0
+
+
+def test_post_at_interleaves_with_schedule():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.post_at(1.0, order.append, ("b",))
+    sim.post_at(0.5, order.append, ("c",))
+    sim.schedule_at(1.0, order.append, "d")
+    sim.run()
+    # Ties break by scheduling order across both entry points.
+    assert order == ["c", "a", "b", "d"]
+    assert sim.pending == 0
+
+
+def test_post_at_rejects_past():
+    sim = Simulator(seed=1)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post_at(1.0, lambda: None)
