@@ -11,7 +11,6 @@ Two cross-checks that tie the simulation to the paper's formulas:
   algorithm; crucially the *ordering* Suzuki < Naimi < Martin is exact.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.experiments import ExperimentConfig, run_experiment

@@ -1,0 +1,173 @@
+"""``python -m repro.analysis`` — the review-time correctness gate.
+
+Modes (combinable; all requested modes run, the exit code is the OR):
+
+* default / ``--lint`` — run the RPR rules over the given paths
+  (default ``src/repro``, falling back to the installed package);
+* ``--conformance`` — static protocol-conformance checks over
+  ``repro.mutex`` (send-graph closure + worst-case bounds vs theory);
+* ``--sanitize`` — run the schedule-race sanitizer matrix (executes
+  simulations; seconds, not milliseconds);
+* ``--check`` — shorthand for ``--lint --conformance`` (the CI gate).
+
+Exit codes: 0 clean, 1 violations/divergence found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import Baseline, Engine
+
+__all__ = ["main"]
+
+
+def _default_paths() -> List[Path]:
+    src = Path("src/repro")
+    if src.is_dir():
+        return [src]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism lint, protocol conformance and "
+        "schedule-race sanitizing for the repro tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument("--lint", action="store_true", help="run the RPR lint rules")
+    parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="run static protocol-conformance checks over repro.mutex",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the schedule-race sanitizer matrix (runs simulations)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: --lint --conformance",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted violations (stale entries are "
+        "reported and fail the run)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the current violations as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="lint report format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the RPR rules and exit"
+    )
+    parser.add_argument(
+        "--tie-seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="tie seeds for --sanitize (default: 1 2 3)",
+    )
+    return parser
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    paths = list(args.paths) or _default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(map(str, missing))}")
+        return 2
+    baseline: Optional[Baseline] = None
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"error: baseline file not found: {args.baseline}")
+            return 2
+        baseline = Baseline.load(args.baseline)
+    engine = Engine()
+    report = engine.check_paths(paths, baseline=baseline, root=Path.cwd())
+    if args.write_baseline is not None:
+        Baseline.from_violations(report.violations).save(args.write_baseline)
+        print(
+            f"wrote {len(report.violations)} suppression(s) to "
+            f"{args.write_baseline} — fill in the reasons"
+        )
+        return 0
+    print(report.to_json() if args.format == "json" else report.format())
+    if report.stale_suppressions:
+        return 1
+    return 0 if report.ok else 1
+
+
+def _run_conformance() -> int:
+    from .effects import check_conformance
+
+    findings, effects = check_conformance()
+    for finding in findings:
+        print(finding.format())
+    print(
+        f"conformance: {len(effects)} algorithm(s) checked, "
+        f"{len(findings)} finding(s)"
+    )
+    return 0 if not findings else 1
+
+
+def _run_sanitizer(tie_seeds: Optional[Sequence[int]]) -> int:
+    from .sanitizer import DEFAULT_TIE_SEEDS, sanitize_matrix
+
+    report = sanitize_matrix(
+        tie_seeds=tuple(tie_seeds) if tie_seeds else DEFAULT_TIE_SEEDS,
+        progress=print,
+    )
+    print(report.format().splitlines()[-1])
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        from .rules import DEFAULT_RULES
+
+        for cls in DEFAULT_RULES:
+            print(f"{cls.id}  {cls.summary}")
+        return 0
+
+    run_lint = args.lint or args.check or not (args.conformance or args.sanitize)
+    run_conformance = args.conformance or args.check
+    status = 0
+    if run_lint:
+        status = max(status, _run_lint(args))
+    if status != 2 and run_conformance:
+        status = max(status, _run_conformance())
+    if status != 2 and args.sanitize:
+        status = max(status, _run_sanitizer(args.tie_seeds))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

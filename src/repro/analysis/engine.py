@@ -1,0 +1,333 @@
+"""Linter engine: file walking, suppression handling, reporting.
+
+The engine is deliberately free of any :mod:`repro` *runtime* imports —
+it parses source files with :mod:`ast` and never executes them, so it can
+lint a broken tree (that is the point of a review-time gate).
+
+Suppressions come in two forms:
+
+* **inline allows** — ``# repro: allow[RPR003] <reason>`` on the
+  offending line (or alone on the line above) suppresses the named
+  rule(s) there.  This is the preferred mechanism: the justification
+  lives next to the code it justifies.
+* **baseline file** — a JSON file of known violations (``--baseline``),
+  matched by ``(rule, path, context)`` so entries survive unrelated line
+  drift.  Meant for adopting a new rule over a large tree; stale entries
+  are reported so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Engine",
+    "ModuleInfo",
+    "Suppression",
+    "Violation",
+]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: dotted enclosing scope, e.g. ``"LamportPeer._try_enter"``
+    context: str = ""
+
+    def format(self) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{where}"
+
+
+class ModuleInfo:
+    """A parsed source file plus the lookup tables rules need."""
+
+    def __init__(self, path: Path, source: str, display_path: str = "") -> None:
+        self.path = path
+        self.display_path = display_path or str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.module = module_name_for(path)
+        self._allows = self._collect_allows()
+        self._scopes = self._collect_scopes()
+
+    # ------------------------------------------------------------------ #
+    def _collect_allows(self) -> Dict[int, Set[str]]:
+        allows: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            m = _ALLOW_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                allows.setdefault(lineno, set()).update(rules)
+                # A comment-only allow line covers the next line too.
+                if line.lstrip().startswith("#"):
+                    allows.setdefault(lineno + 1, set()).update(rules)
+        return allows
+
+    def allowed(self, rule: str, line: int) -> bool:
+        return rule in self._allows.get(line, ())
+
+    # ------------------------------------------------------------------ #
+    def _collect_scopes(self) -> List[Tuple[int, int, str]]:
+        scopes: List[Tuple[int, int, str]] = []
+
+        def walk(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    name = f"{prefix}.{child.name}" if prefix else child.name
+                    end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                    scopes.append((child.lineno, end, name))
+                    walk(child, name)
+                else:
+                    walk(child, prefix)
+
+        walk(self.tree, "")
+        return scopes
+
+    def scope_at(self, line: int) -> str:
+        """Dotted name of the deepest class/function enclosing ``line``."""
+        best = ""
+        best_start = -1
+        for start, end, name in self._scopes:
+            if start <= line <= end and start > best_start:
+                best, best_start = name, start
+        return best
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from a file path.
+
+    Uses the *last* ``repro`` path component as the package root (so both
+    ``src/repro/mutex/base.py`` and fixture trees like
+    ``fixtures/src/repro/mutex/bad.py`` map to ``repro.mutex.*``).
+    Returns the bare stem for files outside any ``repro`` tree.
+    """
+    parts = list(path.parts)
+    stem = path.stem
+    if "repro" in parts:
+        root = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = list(parts[root:-1])
+        if stem != "__init__":
+            dotted.append(stem)
+        return ".".join(dotted)
+    return stem
+
+
+# --------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry; ``path`` is matched as a trailing path suffix
+    so baselines work from any checkout root."""
+
+    rule: str
+    path: str
+    context: str = ""
+    reason: str = ""
+
+    def matches(self, violation: Violation) -> bool:
+        if self.rule != violation.rule or self.context != violation.context:
+            return False
+        want = Path(self.path).as_posix()
+        have = Path(violation.path).as_posix()
+        return have == want or have.endswith("/" + want)
+
+
+class Baseline:
+    """A set of accepted violations loaded from / saved to JSON."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()) -> None:
+        self.suppressions: List[Suppression] = list(suppressions)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        entries = data.get("suppressions", []) if isinstance(data, dict) else data
+        return cls(
+            Suppression(
+                rule=e["rule"],
+                path=e["path"],
+                context=e.get("context", ""),
+                reason=e.get("reason", ""),
+            )
+            for e in entries
+        )
+
+    @classmethod
+    def from_violations(
+        cls, violations: Iterable[Violation], reason: str = "grandfathered"
+    ) -> "Baseline":
+        return cls(
+            Suppression(rule=v.rule, path=v.path, context=v.context, reason=reason)
+            for v in violations
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "suppressions": [
+                {
+                    "rule": s.rule,
+                    "path": s.path,
+                    "context": s.context,
+                    "reason": s.reason,
+                }
+                for s in self.suppressions
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def partition(
+        self, violations: Sequence[Violation]
+    ) -> Tuple[List[Violation], List[Violation], List[Suppression]]:
+        """Split into (unsuppressed, suppressed) and list stale entries."""
+        used: Set[int] = set()
+        kept: List[Violation] = []
+        dropped: List[Violation] = []
+        for v in violations:
+            for i, s in enumerate(self.suppressions):
+                if s.matches(v):
+                    used.add(i)
+                    dropped.append(v)
+                    break
+            else:
+                kept.append(v)
+        stale = [s for i, s in enumerate(self.suppressions) if i not in used]
+        return kept, dropped, stale
+
+
+# --------------------------------------------------------------------- #
+# engine
+# --------------------------------------------------------------------- #
+@dataclass
+class AnalysisReport:
+    """The outcome of one engine run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    stale_suppressions: List[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def format(self) -> str:
+        out: List[str] = []
+        out.extend(err for err in self.parse_errors)
+        out.extend(v.format() for v in self.violations)
+        if self.stale_suppressions:
+            out.append("")
+            out.append("stale baseline entries (fixed or moved — remove them):")
+            out.extend(
+                f"  {s.rule} {s.path} [{s.context}]" for s in self.stale_suppressions
+            )
+        summary = (
+            f"{self.files_checked} file(s) checked: "
+            f"{len(self.violations)} violation(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        out.append(summary)
+        return "\n".join(out)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "violations": [v.__dict__ for v in self.violations],
+                "suppressed": [v.__dict__ for v in self.suppressed],
+                "stale_suppressions": [s.__dict__ for s in self.stale_suppressions],
+                "parse_errors": self.parse_errors,
+            },
+            indent=2,
+        )
+
+
+def iter_python_files(paths: Sequence["Path | str"]) -> Iterator[Path]:
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+class Engine:
+    """Runs a rule set over a file tree and applies suppressions."""
+
+    def __init__(self, rules: Optional[Sequence[object]] = None) -> None:
+        if rules is None:
+            from .rules import DEFAULT_RULES
+
+            rules = [cls() for cls in DEFAULT_RULES]
+        self.rules = list(rules)
+
+    def check_paths(
+        self,
+        paths: Sequence[Path],
+        baseline: Optional[Baseline] = None,
+        root: Optional[Path] = None,
+    ) -> AnalysisReport:
+        report = AnalysisReport()
+        raw: List[Violation] = []
+        for path in iter_python_files(paths):
+            display = path
+            if root is not None:
+                try:
+                    display = path.relative_to(root)
+                except ValueError:
+                    pass
+            try:
+                mod = ModuleInfo(path, path.read_text(), str(display))
+            except SyntaxError as exc:  # a broken tree must still lint
+                report.parse_errors.append(f"{display}: syntax error: {exc}")
+                continue
+            report.files_checked += 1
+            for violation in self._check_module(mod):
+                if mod.allowed(violation.rule, violation.line):
+                    report.suppressed.append(violation)
+                else:
+                    raw.append(violation)
+        if baseline is not None:
+            kept, dropped, stale = baseline.partition(raw)
+            report.violations.extend(kept)
+            report.suppressed.extend(dropped)
+            report.stale_suppressions.extend(stale)
+        else:
+            report.violations.extend(raw)
+        report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return report
+
+    def _check_module(self, mod: ModuleInfo) -> Iterator[Violation]:
+        for rule in self.rules:
+            if not rule.applies(mod):
+                continue
+            for line, col, message in rule.check(mod):
+                yield Violation(
+                    rule=rule.id,
+                    path=mod.display_path,
+                    line=line,
+                    col=col,
+                    message=message,
+                    context=mod.scope_at(line),
+                )

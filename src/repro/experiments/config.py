@@ -8,7 +8,7 @@ cluster, α = 10 ms, 100 critical sections per process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -57,6 +57,12 @@ class ExperimentConfig:
 
     # --- run control ------------------------------------------------------
     seed: int = 0
+    #: Perturb the kernel's same-timestamp tie-breaking (see
+    #: :class:`repro.sim.kernel.Simulator`).  ``None`` keeps the default
+    #: FIFO order; the schedule-race sanitizer
+    #: (:mod:`repro.analysis.sanitizer`) re-runs configs under several
+    #: tie seeds and fails on any observable divergence.
+    tie_seed: Optional[int] = None
     check_safety: bool = True
     deadline_ms: Optional[float] = None
     label: str = ""

@@ -14,9 +14,9 @@ in DESIGN.md §5.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..workload.behavior import PAPER_RHO_OVER_N_GRID
 from .config import ExperimentConfig

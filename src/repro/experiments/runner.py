@@ -10,7 +10,7 @@ experiment was executed 10 times".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.adaptive import AdaptiveComposition
 from ..core.composition import Composition, FlatMutex, MutexSystem
@@ -153,7 +153,7 @@ def _to_lists(spec):
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one configured simulation to completion and aggregate."""
     config.validate()
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, tie_seed=config.tie_seed)
     topology, latency = build_platform(config)
     if config.batch_jitter:
         latency.enable_batched_jitter()

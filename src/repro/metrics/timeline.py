@@ -11,7 +11,7 @@ bounces across clusters.  :meth:`locality_ratio` measures exactly that.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..net.topology import GridTopology
 from ..sim.trace import TraceRecord, Tracer

@@ -16,9 +16,10 @@ included.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Any, Deque, Optional
 
 from ..errors import ProtocolError
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["CentralizedPeer"]
@@ -34,7 +35,7 @@ class CentralizedPeer(MutexPeer):
     algorithm_name = "centralized"
     topology = "star"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.server = self.initial_holder
         # Server-side state (meaningful only on the server peer).
@@ -120,17 +121,17 @@ class CentralizedPeer(MutexPeer):
     # ------------------------------------------------------------------ #
     # message handlers
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         if not self.is_server:
             raise ProtocolError(f"{self.name}: client got a request")
         self._server_handle_request(msg.src)
 
-    def _on_release(self, msg) -> None:
+    def _on_release(self, msg: Message) -> None:
         if not self.is_server:
             raise ProtocolError(f"{self.name}: client got a release")
         self._server_handle_release(msg.src)
 
-    def _on_grant(self, msg) -> None:
+    def _on_grant(self, msg: Message) -> None:
         if self.state is not PeerState.REQ:
             raise ProtocolError(
                 f"{self.name}: grant arrived in state {self.state.value}"
@@ -138,7 +139,7 @@ class CentralizedPeer(MutexPeer):
         self._client_pending = bool(msg.payload.get("pending"))
         self._grant()
 
-    def _on_waiting(self, msg) -> None:
+    def _on_waiting(self, msg: Message) -> None:
         # Server-side notification: someone queued behind our CS.  May
         # race with our own release (then it is stale — ignore).
         if self.state is PeerState.CS:

@@ -15,8 +15,9 @@ Ricart-Agrawala it also satisfies the composition interface.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["LamportPeer"]
@@ -31,7 +32,7 @@ class LamportPeer(MutexPeer):
     algorithm_name = "lamport"
     topology = "complete-graph"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.clock = 0
         # Replicated queue of (timestamp, origin) requests.
@@ -67,7 +68,7 @@ class LamportPeer(MutexPeer):
         self._broadcast("release", {"ts": ts, "origin": self.node})
 
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         ts, origin = msg.payload["ts"], msg.payload["origin"]
         self._tick(ts)
         self._seen[origin] = max(self._seen[origin], ts)
@@ -77,13 +78,13 @@ class LamportPeer(MutexPeer):
         self._send(origin, "ack", {"ts": self._tick()})
         self._try_enter()
 
-    def _on_ack(self, msg) -> None:
+    def _on_ack(self, msg: Message) -> None:
         ts = msg.payload["ts"]
         self._tick(ts)
         self._seen[msg.src] = max(self._seen[msg.src], ts)
         self._try_enter()
 
-    def _on_release(self, msg) -> None:
+    def _on_release(self, msg: Message) -> None:
         ts, origin = msg.payload["ts"], msg.payload["origin"]
         self._tick(ts)
         self._seen[origin] = max(self._seen[origin], ts)
@@ -100,10 +101,14 @@ class LamportPeer(MutexPeer):
             return
         if self._queue[0] != own:
             return
+        # Order-insensitive reduction (`all` over pure comparisons) of a
+        # dict keyed and populated from the ordered `peers` tuple — the
+        # iteration order can never reach the wire.
+        # repro: allow[RPR003] order-insensitive all() over insertion-ordered dict
         if all(seen > own[0] for seen in self._seen.values()):
             self._grant()
 
-    def _own_request(self):
+    def _own_request(self) -> Optional[Tuple[int, int]]:
         for entry in self._queue:
             if entry[1] == self.node:
                 return entry

@@ -26,9 +26,10 @@ Message cost: 3|Q| per CS uncontended (request/locked/release), up to
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ProtocolError
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["MaekawaPeer", "grid_quorums"]
@@ -69,7 +70,7 @@ class MaekawaPeer(MutexPeer):
     algorithm_name = "maekawa"
     topology = "sqrt-N grid quorums"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.quorum: Tuple[int, ...] = grid_quorums(self.peers)[self.node]
         self.clock = 0
@@ -266,27 +267,27 @@ class MaekawaPeer(MutexPeer):
     # ------------------------------------------------------------------ #
     # message handlers
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         self._tick(msg.payload["ts"])
         self._arbiter_request(msg.payload["ts"], msg.payload["origin"])
 
-    def _on_locked(self, msg) -> None:
+    def _on_locked(self, msg: Message) -> None:
         self._got_vote(msg.src)
 
-    def _on_failed(self, msg) -> None:
+    def _on_failed(self, msg: Message) -> None:
         if self.state is PeerState.REQ:
             self._failed_seen = True
 
-    def _on_inquire(self, msg) -> None:
+    def _on_inquire(self, msg: Message) -> None:
         self._maybe_relinquish(msg.src)
 
-    def _on_relinquish(self, msg) -> None:
+    def _on_relinquish(self, msg: Message) -> None:
         self._arbiter_relinquished(msg.src)
 
-    def _on_release(self, msg) -> None:
+    def _on_release(self, msg: Message) -> None:
         self._arbiter_release(msg.src)
 
-    def _on_waiting(self, msg) -> None:
+    def _on_waiting(self, msg: Message) -> None:
         # Arbiter hint: a request queued behind the vote backing us.
         if self.state is PeerState.CS:
             self._remote_pending = True

@@ -21,6 +21,9 @@ between requester and holder — ``N`` on average.  ``T_req`` and
 
 from __future__ import annotations
 
+from typing import Any
+
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["MartinPeer"]
@@ -36,7 +39,7 @@ class MartinPeer(MutexPeer):
     algorithm_name = "martin"
     topology = "ring"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         index = self.peers.index(self.node)
         self.successor = self.peers[(index + 1) % len(self.peers)]
@@ -81,7 +84,7 @@ class MartinPeer(MutexPeer):
     # ------------------------------------------------------------------ #
     # message handlers
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         if self._holds_token:
             if self.state is PeerState.CS:
                 # Serve the predecessor side after our own CS.
@@ -103,7 +106,7 @@ class MartinPeer(MutexPeer):
                 self._owe_pred = True
                 self._send(self.successor, "request")
 
-    def _on_token(self, msg) -> None:
+    def _on_token(self, msg: Message) -> None:
         self._holds_token = True
         if self.state is PeerState.REQ:
             self._grant()

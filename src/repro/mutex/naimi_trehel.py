@@ -16,9 +16,10 @@ Per-CS cost: ``O(log N)`` messages on average; ``T_req ≈ log(N)·T``,
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import ProtocolError
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["NaimiTrehelPeer"]
@@ -34,7 +35,7 @@ class NaimiTrehelPeer(MutexPeer):
     algorithm_name = "naimi"
     topology = "tree"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self._holds_token = self.node == self.initial_holder
         # Probable owner.  The initial holder is the tree root (last ==
@@ -82,7 +83,7 @@ class NaimiTrehelPeer(MutexPeer):
     # ------------------------------------------------------------------ #
     # message handlers
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         origin = msg.payload["origin"]
         if self.is_root:
             if self._holds_token and self.state is PeerState.NO_REQ:
@@ -106,7 +107,7 @@ class NaimiTrehelPeer(MutexPeer):
         # Path reversal: origin is now the probable owner.
         self.last = origin
 
-    def _on_token(self, msg) -> None:
+    def _on_token(self, msg: Message) -> None:
         if self._holds_token:
             raise ProtocolError(f"{self.name}: received a second token")
         self._holds_token = True

@@ -35,10 +35,11 @@ every entry's rank eventually dominates.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from ..errors import ProtocolError
-from ..net.message import DEFAULT_MESSAGE_SIZE
+from ..net.message import DEFAULT_MESSAGE_SIZE, Message
+from ..net.topology import GridTopology
 from .base import MutexPeer, PeerState
 
 __all__ = [
@@ -56,7 +57,9 @@ class QueueEntry:
 
     __slots__ = ("origin", "ts", "priority", "skips")
 
-    def __init__(self, origin: int, ts: float, priority: int = 0, skips: int = 0):
+    def __init__(
+        self, origin: int, ts: float, priority: int = 0, skips: int = 0
+    ) -> None:
         self.origin = origin
         self.ts = ts
         self.priority = priority
@@ -144,7 +147,7 @@ class ClusterAffinityPolicy(SchedulingPolicy):
         against remote starvation, on top of the generic aging bound.
     """
 
-    def __init__(self, topology, max_streak: int = 8) -> None:
+    def __init__(self, topology: GridTopology, max_streak: int = 8) -> None:
         if max_streak < 1:
             raise ProtocolError(f"max_streak must be >= 1, got {max_streak}")
         self.topology = topology
@@ -197,10 +200,10 @@ class PriorityNaimiPeer(MutexPeer):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         policy: Optional[SchedulingPolicy] = None,
         priority: int = 0,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
         self.policy = policy if policy is not None else FifoPolicy()
@@ -240,7 +243,7 @@ class PriorityNaimiPeer(MutexPeer):
         # else: keep the token idle; we stay the tree root.
 
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         entry = QueueEntry.from_wire(msg.payload)
         if self._holds_token:
             if self.state is PeerState.CS:
@@ -258,7 +261,7 @@ class PriorityNaimiPeer(MutexPeer):
             self._send(self.last, "request", entry.to_wire())
         self.last = entry.origin
 
-    def _on_token(self, msg) -> None:
+    def _on_token(self, msg: Message) -> None:
         if self._holds_token:
             raise ProtocolError(f"{self.name}: received a second token")
         if self.state is not PeerState.REQ:

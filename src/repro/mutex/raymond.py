@@ -17,9 +17,10 @@ Per-CS cost: ``O(log N)`` messages on a balanced tree.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Sequence
+from typing import Any, Deque, Dict, Optional, Sequence
 
 from ..errors import ProtocolError
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["RaymondPeer", "balanced_tree_parents"]
@@ -51,7 +52,7 @@ class RaymondPeer(MutexPeer):
     algorithm_name = "raymond"
     topology = "static-tree"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         parents = balanced_tree_parents(self.peers, self.initial_holder)
         parent = parents[self.node]
@@ -80,7 +81,7 @@ class RaymondPeer(MutexPeer):
         self._assign_or_ask()
 
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         sender = msg.src
         if sender not in self.peers:
             raise ProtocolError(f"{self.name}: request from stranger {sender}")
@@ -89,7 +90,7 @@ class RaymondPeer(MutexPeer):
             self._notify_pending()
         self._assign_or_ask()
 
-    def _on_token(self, msg) -> None:
+    def _on_token(self, msg: Message) -> None:
         self.holder = self.node
         self.asked = False
         self._assign_or_ask()

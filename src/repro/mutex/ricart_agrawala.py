@@ -16,9 +16,10 @@ paper, which composes token algorithms only).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Any, List, Optional, Set, Tuple
 
 from ..errors import ProtocolError
+from ..net.message import Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["RicartAgrawalaPeer"]
@@ -34,7 +35,7 @@ class RicartAgrawalaPeer(MutexPeer):
     algorithm_name = "ricart-agrawala"
     topology = "complete-graph"
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.clock = 0
         self._request_ts: Optional[Tuple[int, int]] = None
@@ -68,7 +69,7 @@ class RicartAgrawalaPeer(MutexPeer):
             self._send(dst, "reply")
 
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         ts = msg.payload["ts"]
         origin = msg.payload["origin"]
         self.clock = max(self.clock, ts) + 1
@@ -85,7 +86,7 @@ class RicartAgrawalaPeer(MutexPeer):
         else:
             self._send(origin, "reply")
 
-    def _on_reply(self, msg) -> None:
+    def _on_reply(self, msg: Message) -> None:
         if self.state is not PeerState.REQ:
             raise ProtocolError(
                 f"{self.name}: reply arrived in state {self.state.value}"

@@ -25,10 +25,10 @@ evaluation assumes a reliable network).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Any, Deque, Dict, Optional
 
 from ..errors import ProtocolError
-from ..net.message import DEFAULT_MESSAGE_SIZE
+from ..net.message import DEFAULT_MESSAGE_SIZE, Message
 from .base import MutexPeer, PeerState
 
 __all__ = ["SuzukiKasamiPeer"]
@@ -44,7 +44,7 @@ class SuzukiKasamiPeer(MutexPeer):
     algorithm_name = "suzuki"
     topology = "complete-graph"
 
-    def __init__(self, *args, retry_ms: Optional[float] = None, **kwargs) -> None:
+    def __init__(self, *args: Any, retry_ms: Optional[float] = None, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         if retry_ms is not None and retry_ms <= 0:
             raise ProtocolError(f"retry_ms must be positive, got {retry_ms}")
@@ -125,7 +125,7 @@ class SuzukiKasamiPeer(MutexPeer):
     # ------------------------------------------------------------------ #
     # message handlers
     # ------------------------------------------------------------------ #
-    def _on_request(self, msg) -> None:
+    def _on_request(self, msg: Message) -> None:
         origin = msg.payload["origin"]
         seq = msg.payload["seq"]
         if seq <= self.rn[origin]:
@@ -142,7 +142,7 @@ class SuzukiKasamiPeer(MutexPeer):
                 # In the CS: the request will be queued at release time.
                 self._notify_pending()
 
-    def _on_token(self, msg) -> None:
+    def _on_token(self, msg: Message) -> None:
         if self._holds_token:
             raise ProtocolError(f"{self.name}: received a second token")
         if self._retry_timer is not None:

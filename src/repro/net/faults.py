@@ -16,7 +16,7 @@ install neither, so the default path is untouched.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class FaultInjector:
         drop: float = 0.0,
         duplicate: float = 0.0,
         delay_factor: float = 2.0,
-        only_kinds=None,
+        only_kinds: Optional[Iterable[str]] = None,
     ) -> None:
         for name, p in (("drop", drop), ("duplicate", duplicate)):
             if not 0.0 <= p <= 1.0:

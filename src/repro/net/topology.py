@@ -11,7 +11,7 @@ cluster, which keeps cluster lookup a single array index.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..errors import TopologyError
 
@@ -32,7 +32,7 @@ class Cluster:
     def __len__(self) -> int:
         return len(self.nodes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.nodes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

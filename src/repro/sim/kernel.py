@@ -54,6 +54,25 @@ __all__ = ["Simulator"]
 #: is cheap to scan anyway, and recovering a handful of slots is noise).
 _COMPACT_MIN_CANCELLED = 64
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a bijection on 64-bit integers.
+
+    Used by the schedule-race sanitizer to permute heap tie-break keys —
+    bijectivity keeps keys unique, so the heap stays totally ordered and
+    events at *distinct* times fire in exactly the same order, while
+    events sharing a timestamp fire in a pseudo-random (but fully
+    deterministic) order instead of FIFO."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
@@ -66,9 +85,23 @@ class Simulator:
     trace:
         Optional :class:`~repro.sim.trace.Tracer`; a fresh one is created
         when omitted.
+    tie_seed:
+        ``None`` (the default) keeps the documented FIFO tie-break:
+        events sharing a timestamp fire in scheduling order.  An integer
+        perturbs the tie-break deterministically — same-time events fire
+        in an arbitrary but reproducible order derived from the seed.
+        Every valid run must produce the same observable behaviour under
+        any ``tie_seed``; the schedule-race sanitizer
+        (:mod:`repro.analysis.sanitizer`) exploits this to turn latent
+        event-ordering races into digest divergences.
     """
 
-    def __init__(self, seed: Optional[int] = None, trace: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        trace: Optional[Tracer] = None,
+        tie_seed: Optional[int] = None,
+    ) -> None:
         self._now: float = 0.0
         self._seq: int = 0
         self._heap: list[tuple[float, int, Event]] = []
@@ -76,6 +109,11 @@ class Simulator:
         self._stopped = False
         self._fired = 0
         self._cancelled = 0  # tombstones still physically in the heap
+        self.tie_seed = tie_seed
+        #: precomputed offset so distinct tie seeds yield distinct orders
+        self._tie_salt: Optional[int] = (
+            None if tie_seed is None else _mix64(int(tie_seed) ^ 0x9E3779B97F4A7C15)
+        )
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer()
 
@@ -139,8 +177,11 @@ class Simulator:
             )
         if not callable(callback):
             raise SimulationError(f"callback must be callable, got {callback!r}")
-        event = Event(time, self._seq, callback, args, label=label)
-        heapq.heappush(self._heap, (time, self._seq, event))
+        seq = self._seq
+        event = Event(time, seq, callback, args, label=label)
+        if self._tie_salt is not None:
+            seq = _mix64(seq ^ self._tie_salt)
+        heapq.heappush(self._heap, (time, seq, event))
         self._seq += 1
         return EventHandle(event, self)
 
@@ -159,8 +200,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
-        event = Event(time, self._seq, callback, args)
-        heapq.heappush(self._heap, (time, self._seq, event))
+        seq = self._seq
+        event = Event(time, seq, callback, args)
+        if self._tie_salt is not None:
+            # Sanitizer mode: permute the tie-break key (bijective, so
+            # still unique — comparisons never reach the Event object).
+            seq = _mix64(seq ^ self._tie_salt)
+        heapq.heappush(self._heap, (time, seq, event))
         self._seq += 1
         return event
 

@@ -8,7 +8,9 @@ timers; message passing lives one layer up in :mod:`repro.net`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
+
+import numpy as np
 
 from .event import Event, EventHandle
 from .kernel import Simulator
@@ -93,7 +95,7 @@ class Process:
         distributed structure is the recovery layer's job, not ours."""
         self._halted = False
 
-    def rng(self, purpose: str = "default"):
+    def rng(self, purpose: str = "default") -> "np.random.Generator":
         """Return this process's named random stream for ``purpose``."""
         return self.sim.rng.stream(f"{self.name}/{purpose}")
 

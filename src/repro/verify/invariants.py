@@ -11,6 +11,7 @@ from typing import Iterable, List, Sequence
 
 from ..errors import ProtocolError
 from ..mutex.base import MutexPeer, PeerState
+from ..net.faults import CrashController
 
 __all__ = [
     "token_holders",
@@ -30,7 +31,9 @@ def token_holders(peers: Iterable[MutexPeer]) -> List[MutexPeer]:
     return [p for p in peers if p.holds_token]
 
 
-def live_peers(peers: Iterable[MutexPeer], crashes) -> List[MutexPeer]:
+def live_peers(
+    peers: Iterable[MutexPeer], crashes: CrashController
+) -> List[MutexPeer]:
     """The subset of ``peers`` whose node is currently up.
 
     Post-recovery invariants quantify over the *live* membership — a

@@ -15,7 +15,7 @@ timer per stall window and nothing per message.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..errors import LivenessViolation
 from ..sim.kernel import Simulator

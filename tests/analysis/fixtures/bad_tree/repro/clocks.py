@@ -1,0 +1,12 @@
+"""Intentionally bad: wall-clock and stdlib-random violations.
+
+Kept as a lint fixture — see ``tests/analysis/fixtures/README.md``.
+"""
+
+import random  # RPR002: stdlib random
+import time
+
+
+def sample():
+    jitter = random.random()
+    return time.time() + jitter  # RPR001: wall clock

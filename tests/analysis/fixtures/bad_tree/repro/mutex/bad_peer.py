@@ -1,0 +1,28 @@
+"""Intentionally bad: one violation of each repro.mutex-scoped rule.
+
+Kept as a lint fixture — see ``tests/analysis/fixtures/README.md``.
+"""
+
+from repro.core import coordinator  # RPR005: composition purity
+
+
+class BadPeer:
+    algorithm_name = "bad-fixture"
+
+    def __init__(self, sim, peers):
+        self.sim = sim
+        self.peers = peers
+        self.pending = {}
+        self.unused = coordinator
+
+    def _on_request(self, msg):
+        for node in self.pending.values():  # RPR003: unordered iteration
+            self._send(node, "grant")
+        self.sim.run(until=10.0)  # RPR004: kernel re-entry
+
+    def remember(self, acc={}):  # RPR006: mutable default
+        acc[self.peers[0]] = True
+        return acc
+
+    def _send(self, dst, kind):
+        pass

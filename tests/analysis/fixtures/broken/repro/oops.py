@@ -1,0 +1,4 @@
+"""Intentionally unparseable — exercises the engine's syntax-error path."""
+
+def broken(:
+    pass

@@ -1,0 +1,210 @@
+"""Engine-level tests: suppression comments, baselines, reporting."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Baseline,
+    Engine,
+    ModuleInfo,
+    Suppression,
+    Violation,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_module(tmp_path: Path, rel: str, source: str) -> Path:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+HANDLER_WITH_HAZARD = """
+class Peer:
+    def _on_request(self, msg):
+        for node in self.pending.values():{allow}
+            self._send(node, "grant")
+"""
+
+
+class TestInlineAllows:
+    def test_violation_without_allow(self, tmp_path):
+        path = write_module(
+            tmp_path, "repro/mutex/peer.py", HANDLER_WITH_HAZARD.format(allow="")
+        )
+        report = Engine().check_paths([path])
+        assert [v.rule for v in report.violations] == ["RPR003"]
+        assert report.violations[0].context == "Peer._on_request"
+        assert not report.ok
+
+    def test_same_line_allow_suppresses(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/mutex/peer.py",
+            HANDLER_WITH_HAZARD.format(allow="  # repro: allow[RPR003] proven"),
+        )
+        report = Engine().check_paths([path])
+        assert report.violations == []
+        assert [v.rule for v in report.suppressed] == ["RPR003"]
+        assert report.ok
+
+    def test_comment_line_above_suppresses(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/mutex/peer.py",
+            """
+            class Peer:
+                def _on_request(self, msg):
+                    # repro: allow[RPR003] proven order-insensitive
+                    for node in self.pending.values():
+                        self._send(node, "grant")
+            """,
+        )
+        report = Engine().check_paths([path])
+        assert report.violations == []
+        assert [v.rule for v in report.suppressed] == ["RPR003"]
+
+    def test_allow_for_other_rule_does_not_suppress(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/mutex/peer.py",
+            HANDLER_WITH_HAZARD.format(allow="  # repro: allow[RPR001] wrong rule"),
+        )
+        report = Engine().check_paths([path])
+        assert [v.rule for v in report.violations] == ["RPR003"]
+
+    def test_multi_rule_allow(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/mutex/peer.py",
+            HANDLER_WITH_HAZARD.format(allow="  # repro: allow[RPR001, RPR003] both"),
+        )
+        report = Engine().check_paths([path])
+        assert report.violations == []
+
+
+class TestBaseline:
+    def _violating_tree(self, tmp_path: Path) -> Path:
+        write_module(
+            tmp_path, "repro/mutex/peer.py", HANDLER_WITH_HAZARD.format(allow="")
+        )
+        return tmp_path
+
+    def test_round_trip_suppresses_everything(self, tmp_path):
+        tree = self._violating_tree(tmp_path)
+        report = Engine().check_paths([tree])
+        assert report.violations
+
+        baseline = Baseline.from_violations(report.violations)
+        baseline_path = tmp_path / "baseline.json"
+        baseline.save(baseline_path)
+
+        loaded = Baseline.load(baseline_path)
+        again = Engine().check_paths([tree], baseline=loaded)
+        assert again.violations == []
+        assert again.suppressed
+        assert again.stale_suppressions == []
+        assert again.ok
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        tree = self._violating_tree(tmp_path)
+        stale = Suppression(rule="RPR001", path="repro/mutex/gone.py", context="f")
+        baseline = Baseline([stale])
+        report = Engine().check_paths([tree], baseline=baseline)
+        assert report.stale_suppressions == [stale]
+        # the real violation is still reported
+        assert [v.rule for v in report.violations] == ["RPR003"]
+
+    def test_path_suffix_matching(self):
+        suppression = Suppression(
+            rule="RPR003", path="repro/mutex/peer.py", context="Peer._on_request"
+        )
+        hit = Violation(
+            rule="RPR003",
+            path="/checkout/src/repro/mutex/peer.py",
+            line=3,
+            col=8,
+            message="m",
+            context="Peer._on_request",
+        )
+        miss = Violation(
+            rule="RPR003",
+            path="/checkout/src/repro/mutex/other_peer.py",
+            line=3,
+            col=8,
+            message="m",
+            context="Peer._on_request",
+        )
+        assert suppression.matches(hit)
+        assert not suppression.matches(miss)
+
+    def test_save_format_is_versioned_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        Baseline([Suppression(rule="RPR001", path="x.py", reason="why")]).save(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["suppressions"][0]["reason"] == "why"
+
+
+class TestReporting:
+    def test_syntax_error_fails_the_run(self):
+        report = Engine().check_paths([FIXTURES / "broken"])
+        assert not report.ok
+        assert report.parse_errors
+        assert "syntax error" in report.format()
+
+    def test_bad_tree_trips_every_rule_exactly_once(self):
+        report = Engine().check_paths([FIXTURES / "bad_tree"])
+        assert sorted(v.rule for v in report.violations) == [
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+        ]
+
+    def test_format_and_json(self, tmp_path):
+        path = write_module(
+            tmp_path, "repro/mutex/peer.py", HANDLER_WITH_HAZARD.format(allow="")
+        )
+        report = Engine().check_paths([path])
+        text = report.format()
+        assert "RPR003" in text
+        assert "1 violation(s)" in text
+        data = json.loads(report.to_json())
+        assert data["files_checked"] == 1
+        assert data["violations"][0]["rule"] == "RPR003"
+
+    def test_empty_report_is_ok(self):
+        report = AnalysisReport()
+        assert report.ok
+        assert "0 violation(s)" in report.format()
+
+
+def test_scope_at_nested():
+    mod = ModuleInfo(
+        Path("src/repro/mutex/frag.py"),
+        textwrap.dedent(
+            """
+            class Outer:
+                def method(self):
+                    def inner():
+                        pass
+                    return inner
+
+            def toplevel():
+                pass
+            """
+        ),
+        "frag.py",
+    )
+    assert mod.scope_at(4) == "Outer.method.inner"
+    assert mod.scope_at(8) == "toplevel"
+    assert mod.scope_at(1) == ""

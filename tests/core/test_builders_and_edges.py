@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import Composition, CoordinatorState, FlatMutex
 from repro.errors import CompositionError
-from repro.mutex import NaimiTrehelPeer, PriorityNaimiPeer, get_algorithm
+from repro.mutex import PriorityNaimiPeer, get_algorithm
 from repro.net import Network, TwoTierLatency, uniform_topology
 from repro.sim import Simulator
 from repro.workload import deploy_workload

@@ -10,7 +10,6 @@ These tests pin each path down explicitly.
 import pytest
 
 from repro.core import Composition, CoordinatorState
-from repro.mutex import PeerState
 from repro.net import ConstantLatency, Network, uniform_topology
 from repro.sim import Simulator
 from repro.workload import deploy_workload

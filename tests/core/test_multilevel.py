@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import MultilevelComposition
 from repro.errors import CompositionError
-from repro.metrics import MetricsCollector
 from repro.net import Network, TwoTierLatency, uniform_topology
 from repro.sim import Simulator
 from repro.verify import MutualExclusionChecker

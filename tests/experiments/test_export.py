@@ -4,7 +4,6 @@ import csv
 import io
 import json
 
-import pytest
 
 from repro.experiments import (
     ExperimentConfig,

@@ -12,7 +12,6 @@ import itertools
 
 import pytest
 
-from repro.errors import SafetyViolation
 from repro.experiments import ExperimentConfig, run_experiment
 
 PAPER_ALGOS = ["naimi", "martin", "suzuki"]

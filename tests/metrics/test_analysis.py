@@ -1,6 +1,5 @@
 """Unit tests for metric records, summaries and pooling."""
 
-import math
 
 import numpy as np
 import pytest
@@ -8,7 +7,6 @@ import pytest
 from repro.metrics import (
     CSRecord,
     MetricsCollector,
-    SummaryStats,
     jain_index,
     pooled,
     summarize,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.mutex import balanced_tree_parents
-from repro.verify import assert_all_idle, assert_single_token
+from repro.verify import assert_all_idle
 
 from ..helpers import PeerDriver
 

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.mutex import grid_quorums
 from repro.verify import assert_all_idle

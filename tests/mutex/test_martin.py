@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ProtocolError
-from repro.mutex import MartinPeer, PeerState
+from repro.mutex import PeerState
 from repro.verify import (
     assert_all_idle,
     assert_consistent_ring,

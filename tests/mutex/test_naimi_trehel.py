@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ProtocolError
-from repro.mutex import NaimiTrehelPeer, PeerState
+from repro.mutex import NaimiTrehelPeer
 from repro.verify import assert_all_idle, assert_single_token
 
 from ..helpers import PeerDriver

@@ -1,8 +1,6 @@
 """Remaining protocol edge paths across algorithms."""
 
-import pytest
 
-from repro.errors import ProtocolError
 from repro.mutex import PeerState
 from repro.net import FaultInjector
 

@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.mutex import (
     AlgorithmInfo,
     MartinPeer,
-    MutexPeer,
     NaimiTrehelPeer,
     SuzukiKasamiPeer,
     available_algorithms,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ProtocolError
-from repro.mutex import PeerState, SuzukiKasamiPeer
 from repro.verify import assert_all_idle, assert_single_token
 
 from ..helpers import PeerDriver

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.net import (
-    ConstantLatency,
     FaultInjector,
     Network,
     TwoTierLatency,

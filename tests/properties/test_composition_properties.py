@@ -1,7 +1,6 @@
 """Property-based tests of the composition invariants under random
 configurations and workloads."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

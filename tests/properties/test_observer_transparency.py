@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Composition
-from repro.metrics import MetricsCollector, TimelineRecorder
+from repro.metrics import TimelineRecorder
 from repro.net import Network, TwoTierLatency, uniform_topology
 from repro.sim import Simulator
 from repro.verify import (

@@ -1,0 +1,97 @@
+"""Kernel tie-break perturbation (``Simulator(tie_seed=...)``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.kernel import _mix64
+
+
+def fire_order(tie_seed, schedule):
+    """Run ``schedule`` — a list of (time, tag) — and return the tags in
+    firing order."""
+    sim = Simulator(seed=0, tie_seed=tie_seed)
+    fired = []
+    for time, tag in schedule:
+        sim.schedule_at(time, fired.append, tag)
+    sim.run()
+    return fired
+
+
+SAME_INSTANT = [(5.0, tag) for tag in "abcdefgh"]
+DISTINCT = [(float(i), tag) for i, tag in enumerate("abcdefgh")]
+
+
+def test_default_is_fifo():
+    assert fire_order(None, SAME_INSTANT) == list("abcdefgh")
+
+
+def test_distinct_times_unaffected_by_tie_seed():
+    for seed in (None, 1, 2, 99):
+        assert fire_order(seed, DISTINCT) == list("abcdefgh")
+
+
+def test_perturbation_is_a_permutation():
+    fired = fire_order(1, SAME_INSTANT)
+    assert sorted(fired) == list("abcdefgh")
+
+
+def test_perturbation_actually_perturbs():
+    orders = {tuple(fire_order(seed, SAME_INSTANT)) for seed in (1, 2, 3)}
+    assert any(order != tuple("abcdefgh") for order in orders)
+
+
+def test_same_tie_seed_is_deterministic():
+    assert fire_order(7, SAME_INSTANT) == fire_order(7, SAME_INSTANT)
+
+
+def test_different_tie_seeds_give_different_orders():
+    orders = {tuple(fire_order(seed, SAME_INSTANT)) for seed in range(1, 6)}
+    assert len(orders) > 1
+
+
+def test_post_at_and_schedule_at_share_the_perturbed_order():
+    def order_via(poster):
+        sim = Simulator(seed=0, tie_seed=3)
+        fired = []
+        for tag in "abcdefgh":
+            poster(sim, tag, fired)
+        sim.run()
+        return fired
+
+    via_schedule = order_via(
+        lambda sim, tag, fired: sim.schedule_at(5.0, fired.append, tag)
+    )
+    via_post = order_via(
+        lambda sim, tag, fired: sim.post_at(5.0, fired.append, (tag,))
+    )
+    assert via_schedule == via_post
+
+
+def test_cancellation_respected_under_perturbation():
+    sim = Simulator(seed=0, tie_seed=5)
+    fired = []
+    handles = [sim.schedule_at(5.0, fired.append, tag) for tag in "abcd"]
+    handles[1].cancel()
+    sim.run()
+    assert sorted(fired) == ["a", "c", "d"]
+
+
+def test_run_until_semantics_unchanged():
+    sim = Simulator(seed=0, tie_seed=2)
+    fired = []
+    sim.schedule_at(1.0, fired.append, "x")
+    sim.schedule_at(9.0, fired.append, "y")
+    assert sim.run(until=5.0) == pytest.approx(5.0)
+    assert fired == ["x"]
+
+
+def test_mix64_is_injective_on_a_prefix():
+    seen = {_mix64(i) for i in range(10_000)}
+    assert len(seen) == 10_000
+
+
+def test_tie_seed_attribute_exposed():
+    assert Simulator(seed=0).tie_seed is None
+    assert Simulator(seed=0, tie_seed=4).tie_seed == 4

@@ -1,0 +1,92 @@
+"""The repro exception hierarchy and the error paths that raise it."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    CompositionError,
+    ConfigurationError,
+    LivenessViolation,
+    NetworkError,
+    ProtocolError,
+    RecoveryError,
+    ReproError,
+    SafetyViolation,
+    SimulationError,
+    TopologyError,
+)
+from repro.mutex import AlgorithmInfo, available_algorithms, get_algorithm, register
+from repro.mutex.base import MutexPeer
+
+ALL_ERRORS = [
+    SimulationError,
+    NetworkError,
+    TopologyError,
+    ProtocolError,
+    CompositionError,
+    SafetyViolation,
+    LivenessViolation,
+    ConfigurationError,
+    RecoveryError,
+]
+
+
+class TestHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        for cls in ALL_ERRORS:
+            assert issubclass(cls, ReproError), cls
+
+    def test_catching_the_base_catches_each(self):
+        for cls in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise cls("boom")
+
+    def test_repro_error_does_not_swallow_programming_errors(self):
+        assert not issubclass(TypeError, ReproError)
+        assert not issubclass(ReproError, (ValueError, RuntimeError))
+
+    def test_module_exports_are_exhaustive(self):
+        exported = {
+            name
+            for name, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, ReproError)
+        }
+        assert exported == {cls.__name__ for cls in ALL_ERRORS} | {"ReproError"}
+
+    def test_every_error_is_documented(self):
+        for cls in [ReproError] + ALL_ERRORS:
+            assert cls.__doc__ and cls.__doc__.strip(), cls
+
+
+class TestRegistryErrorPaths:
+    def test_unknown_algorithm_lists_every_registered_name(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_algorithm("does-not-exist")
+        message = str(exc.value)
+        assert "does-not-exist" in message
+        for name in available_algorithms():
+            assert name in message
+
+    def test_unknown_algorithm_error_is_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            get_algorithm("does-not-exist")
+
+    def test_duplicate_registration_names_the_offender(self):
+        class DupPeer(get_algorithm("naimi").peer_class):
+            algorithm_name = "dup-probe"
+
+        info = AlgorithmInfo("dup-probe", DupPeer, True, "tree", "O(log N)")
+        register(info)
+        with pytest.raises(ConfigurationError) as exc:
+            register(info)
+        assert "dup-probe" in str(exc.value)
+
+    def test_register_rejects_classes_outside_the_peer_interface(self):
+        with pytest.raises(ConfigurationError) as exc:
+            register(AlgorithmInfo("not-a-peer", int, True, "none", "?"))
+        assert "MutexPeer" in str(exc.value) or "not-a-peer" in str(exc.value)
+        assert not issubclass(int, MutexPeer)
