@@ -2,7 +2,7 @@
 
 ``benchmarks/perf`` measures end-to-end simulator throughput (events/sec,
 messages/sec, wall time) on a small set of canonical scenarios and records
-the trajectory as ``BENCH_<stamp>.json`` files at the repository root, so
+the trajectory as ``benchmarks/results/BENCH_<stamp>.json`` files, so
 every optimization PR can prove its speedup against the committed history.
 
 Entry points:

@@ -18,9 +18,10 @@ A *report* is one JSON document::
       }
     }
 
-Reports are written as ``BENCH_<stamp>.json`` at the repository root and
-are meant to be committed: the sequence of files is the performance
-trajectory of the repo.
+Reports are written as ``benchmarks/results/BENCH_<stamp>.json`` and are
+meant to be committed: the sequence of files is the performance
+trajectory of the repo.  (Early reports lived at the repository root;
+:func:`latest_bench_file` still scans both places.)
 
 The regression gate compares events/sec per scenario between two reports.
 Because CI runners and developer machines differ, the comparison is
@@ -53,6 +54,9 @@ __all__ = [
 ]
 
 SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_FNS)
+
+#: Repository-relative directory where reports accumulate.
+RESULTS_DIR = os.path.join("benchmarks", "results")
 
 #: events/sec comparisons within this fraction of the baseline pass.
 DEFAULT_THRESHOLD = 0.20
@@ -113,8 +117,16 @@ def write_report(
     root: str,
     score: Optional[float] = None,
     stamp: Optional[str] = None,
+    out: Optional[str] = None,
 ) -> str:
-    """Write ``BENCH_<stamp>.json`` under ``root``; returns the path."""
+    """Write a benchmark report; returns the path.
+
+    By default the report lands in ``<root>/benchmarks/results/`` as
+    ``BENCH_<stamp>.json`` (the directory is created on demand) so
+    repeated runs stop accumulating files at the repository root.
+    ``out`` overrides the destination entirely: a directory (report gets
+    the stamped name inside it) or an exact file path.
+    """
     stamp = stamp or time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
     report = {
         "stamp": stamp,
@@ -124,7 +136,16 @@ def write_report(
         "machine_score": machine_score() if score is None else score,
         "scenarios": results,
     }
-    path = os.path.join(root, f"BENCH_{stamp}.json")
+    if out is None:
+        directory = os.path.join(root, RESULTS_DIR)
+        path = os.path.join(directory, f"BENCH_{stamp}.json")
+    elif os.path.isdir(out) or out.endswith(os.sep):
+        directory = out
+        path = os.path.join(out, f"BENCH_{stamp}.json")
+    else:
+        directory = os.path.dirname(out) or "."
+        path = out
+    os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -137,10 +158,16 @@ def load_report(path: str) -> dict:
 
 
 def latest_bench_file(root: str, exclude: Optional[str] = None) -> Optional[str]:
-    """Newest committed ``BENCH_*.json`` by stamp (filename sort), or None."""
-    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    """Newest committed ``BENCH_*.json`` by stamp, or None.
+
+    Scans ``benchmarks/results/`` plus the repository root (where early
+    reports lived); newest is decided by the stamped filename, which
+    sorts chronologically regardless of directory."""
+    paths = glob.glob(os.path.join(root, RESULTS_DIR, "BENCH_*.json"))
+    paths += glob.glob(os.path.join(root, "BENCH_*.json"))
     if exclude is not None:
         paths = [p for p in paths if os.path.abspath(p) != os.path.abspath(exclude)]
+    paths.sort(key=os.path.basename)
     return paths[-1] if paths else None
 
 

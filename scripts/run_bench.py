@@ -3,10 +3,11 @@
 
 Usage (from the repository root)::
 
-    python scripts/run_bench.py                  # quick mode, write BENCH_<stamp>.json
+    python scripts/run_bench.py                  # quick mode, write benchmarks/results/BENCH_<stamp>.json
     python scripts/run_bench.py --full           # paper-scale (minutes)
     python scripts/run_bench.py --check latest   # also gate vs newest committed report
-    python scripts/run_bench.py --check BENCH_20260807T000000Z.json --threshold 0.2
+    python scripts/run_bench.py --check benchmarks/results/BENCH_20260807T000000Z.json --threshold 0.2
+    python scripts/run_bench.py --out /tmp/b.json  # write the report elsewhere
     python scripts/run_bench.py --no-write       # measure only, e.g. while iterating
 
 The regression gate normalizes events/sec by each report's
@@ -54,8 +55,12 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional events/sec regression "
                              "(default 0.20)")
+    parser.add_argument("--out", metavar="PATH",
+                        help="report destination: a file path, or a "
+                             "directory to receive BENCH_<stamp>.json "
+                             "(default: benchmarks/results/)")
     parser.add_argument("--no-write", action="store_true",
-                        help="do not write a BENCH_<stamp>.json report")
+                        help="do not write a benchmark report")
     args = parser.parse_args(argv)
 
     mode = "full" if args.full else "quick"
@@ -76,7 +81,7 @@ def main(argv=None) -> int:
 
     written = None
     if not args.no_write:
-        written = write_report(results, mode, ROOT, score=score)
+        written = write_report(results, mode, ROOT, score=score, out=args.out)
         print(f"wrote {os.path.relpath(written, ROOT)}")
 
     if args.check:

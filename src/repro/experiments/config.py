@@ -14,10 +14,16 @@ from typing import Optional, Tuple
 from ..errors import ConfigurationError
 from ..mutex.registry import get_algorithm
 
-__all__ = ["ExperimentConfig", "SYSTEMS", "PLATFORMS"]
+__all__ = ["ExperimentConfig", "SYSTEMS", "PLATFORMS", "OBS_LEVELS"]
 
 SYSTEMS = ("composition", "flat", "adaptive", "multilevel")
 PLATFORMS = ("grid5000", "two-tier", "random-wan")
+#: Observability verbosity (see :mod:`repro.obs`): ``off`` attaches
+#: nothing (the hot path stays bare), ``counters`` adds cheap event
+#: counters, ``paths`` adds vector clocks + critical-path breakdown,
+#: ``trace`` additionally keeps per-CS rows and enables Chrome trace
+#: export.  Mirrored by :data:`repro.obs.OBS_LEVELS`.
+OBS_LEVELS = ("off", "counters", "paths", "trace")
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,12 @@ class ExperimentConfig:
     tie_seed: Optional[int] = None
     check_safety: bool = True
     deadline_ms: Optional[float] = None
+    #: Observability verbosity (one of :data:`OBS_LEVELS`).  ``off``
+    #: keeps the run bare; any other level attaches
+    #: :class:`repro.obs.ObservabilityLayer` and stores its report on
+    #: ``ExperimentResult.obs_report``.  Observation never perturbs the
+    #: schedule: digests are bit-identical at every level.
+    obs: str = "off"
     label: str = ""
 
     # ------------------------------------------------------------------ #
@@ -137,6 +149,10 @@ class ExperimentConfig:
         if self.distribution not in ("exponential", "fixed"):
             raise ConfigurationError(
                 f"unknown distribution {self.distribution!r}"
+            )
+        if self.obs not in OBS_LEVELS:
+            raise ConfigurationError(
+                f"unknown obs level {self.obs!r}; choose from {OBS_LEVELS}"
             )
 
     def describe(self) -> str:

@@ -10,7 +10,7 @@ experiment was executed 10 times".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..core.adaptive import AdaptiveComposition
 from ..core.composition import Composition, FlatMutex, MutexSystem
@@ -21,6 +21,8 @@ from ..grid.grid5000 import grid5000_latency, grid5000_topology
 from ..metrics.analysis import SummaryStats, pooled
 from ..net.network import Network
 from ..net.topology import GridTopology
+from ..obs.layer import ObservabilityLayer
+from ..obs.report import ObsReport
 from ..sim.kernel import Simulator
 from ..verify.safety import MutualExclusionChecker
 from ..workload.scenario import deploy_workload
@@ -54,6 +56,8 @@ class ExperimentResult:
     sim_time_ms: float
     per_cluster: Dict[int, SummaryStats]
     inter_algorithm_final: str = ""
+    #: Observability report when ``config.obs != "off"`` (see repro.obs).
+    obs_report: Optional[ObsReport] = None
 
     @property
     def inter_messages_per_cs(self) -> float:
@@ -150,15 +154,40 @@ def _to_lists(spec):
 # --------------------------------------------------------------------- #
 # execution
 # --------------------------------------------------------------------- #
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one configured simulation to completion and aggregate."""
+def run_experiment(
+    config: ExperimentConfig,
+    obs_hook: Optional[Callable[[ObservabilityLayer], None]] = None,
+) -> ExperimentResult:
+    """Run one configured simulation to completion and aggregate.
+
+    ``obs_hook``, if given, is called with the attached
+    :class:`~repro.obs.ObservabilityLayer` after the run completes
+    (before the report is frozen) — the CLI uses it to export Chrome
+    traces.  It requires ``config.obs != "off"``.
+    """
     config.validate()
+    if obs_hook is not None and config.obs == "off":
+        raise ConfigurationError("obs_hook requires config.obs != 'off'")
     sim = Simulator(seed=config.seed, tie_seed=config.tie_seed)
     topology, latency = build_platform(config)
     if config.batch_jitter:
         latency.enable_batched_jitter()
     net = Network(sim, topology, latency, fifo=config.fifo)
     system = build_system(sim, net, topology, config)
+
+    # Attach after build_system (every handler registered, so the
+    # causality layer wraps them all) and before the workload deploys.
+    obs: Optional[ObservabilityLayer] = None
+    if config.obs != "off":
+        obs = ObservabilityLayer(
+            sim,
+            net,
+            level=config.obs,
+            app_nodes=system.app_nodes,
+            coordinator_nodes=tuple(
+                c.node for c in getattr(system, "coordinators", ())
+            ),
+        )
 
     safety: Optional[MutualExclusionChecker] = None
     if config.check_safety:
@@ -197,6 +226,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             f"process(es) unfinished at t={sim.now:.0f}ms "
             f"(first: {unfinished[:5]})"
         )
+    obs_report: Optional[ObsReport] = None
+    if obs is not None:
+        if obs_hook is not None:
+            obs_hook(obs)
+        obs_report = obs.report()
+        obs.detach()
     stats = net.stats
     return ExperimentResult(
         config=config,
@@ -211,6 +246,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         sim_time_ms=sim.now,
         per_cluster=collector.by_cluster(),
         inter_algorithm_final=getattr(system, "inter_name", ""),
+        obs_report=obs_report,
     )
 
 

@@ -8,7 +8,12 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table", "format_series_table", "format_matrix"]
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_matrix",
+    "format_breakdown",
+]
 
 
 def format_table(
@@ -51,6 +56,25 @@ def format_series_table(
     for i, x in enumerate(xs):
         rows.append([x, *(series[name][i] for name in series)])
     return format_table(headers, rows, float_fmt=float_fmt)
+
+
+def format_breakdown(
+    parts: Sequence[tuple],
+    total: float,
+    value_label: str = "ms",
+) -> str:
+    """Render ``(name, value)`` parts as a table with a share column.
+
+    Used by the observability report to show how critical-path segment
+    categories split a total obtaining time; shares are computed against
+    ``total`` so a lossless decomposition sums to 100%.
+    """
+    rows = []
+    for name, value in parts:
+        share = value / total if total else 0.0
+        rows.append([name, value, f"{share:.1%}"])
+    rows.append(["total", total, "100.0%" if total else "-"])
+    return format_table(["segment", value_label, "share"], rows)
 
 
 def format_matrix(

@@ -73,6 +73,11 @@ class Network:
         self._seq = 0
         self._rng = sim.rng.stream("network/latency")
         self._fault_rng = sim.rng.stream("network/faults")
+        # Interposition points for observers (repro.obs).  Both stay empty
+        # tuples when unused so the hot send path pays one falsy check —
+        # the same gating discipline as ``trace.active_kinds``.
+        self._send_taps: Tuple[Callable[[Message], None], ...] = ()
+        self._register_hooks: Tuple[Callable[[int, str], None], ...] = ()
 
     # ------------------------------------------------------------------ #
     # registration
@@ -89,6 +94,9 @@ class Network:
         if key in self._handlers:
             raise NetworkError(f"address {key} already has a handler")
         self._handlers[key] = handler
+        if self._register_hooks:
+            for hook in self._register_hooks:
+                hook(node, port)
 
     def unregister(self, node: int, port: str) -> None:
         """Detach the handler at ``(node, port)``; missing address is an error."""
@@ -116,6 +124,50 @@ class Network:
         if not callable(wrapped):
             raise NetworkError(f"wrap() returned non-callable {wrapped!r}")
         self._handlers[key] = wrapped
+
+    # ------------------------------------------------------------------ #
+    # observer taps (repro.obs)
+    # ------------------------------------------------------------------ #
+    def add_send_tap(self, tap: Callable[[Message], None]) -> None:
+        """Call ``tap(msg)`` after every successful :meth:`send`.
+
+        The tap observes the already-scheduled message (``seq`` stamped
+        unless a fault dropped it); it must not mutate the message or
+        send traffic of its own.  This is the outbound mirror of
+        :meth:`wrap_handler`: together they let an observability layer
+        see every hop without touching any algorithm."""
+        self._send_taps = (*self._send_taps, tap)
+
+    def remove_send_tap(self, tap: Callable[[Message], None]) -> None:
+        """Detach a tap added with :meth:`add_send_tap`."""
+        if tap not in self._send_taps:
+            raise NetworkError("send tap not attached")
+        # Equality, not identity: bound methods are re-created on each
+        # attribute access, so ``is`` would never match one.
+        self._send_taps = tuple(t for t in self._send_taps if t != tap)
+
+    def add_register_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Call ``hook(node, port)`` after every future :meth:`register`.
+
+        Lets an interposition layer wrap handlers that appear *after* it
+        attached (e.g. peers rebuilt by the recovery layer's failover)."""
+        self._register_hooks = (*self._register_hooks, hook)
+
+    def remove_register_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Detach a hook added with :meth:`add_register_hook`."""
+        if hook not in self._register_hooks:
+            raise NetworkError("register hook not attached")
+        self._register_hooks = tuple(
+            h for h in self._register_hooks if h != hook
+        )
+
+    def addresses(self) -> Tuple[Tuple[int, str], ...]:
+        """All currently registered ``(node, port)`` addresses, sorted.
+
+        Interposition layers use this to wrap every existing handler in
+        one sweep (and :meth:`add_register_hook` for handlers that appear
+        later)."""
+        return tuple(sorted(self._handlers))
 
     @property
     def seq_watermark(self) -> int:
@@ -166,6 +218,9 @@ class Network:
         if self.faults is not None and self.faults.should_drop(
             self._fault_rng, kind
         ):
+            if self._send_taps:
+                for tap in self._send_taps:
+                    tap(msg)  # seq stays -1: sent but never scheduled
             return msg
         self._schedule_delivery(msg, extra_factor=1.0)
         if self.faults is not None and self.faults.should_duplicate(
@@ -182,6 +237,9 @@ class Network:
                 extra_factor=self.faults.delay_factor,
                 advance_flow=False,
             )
+        if self._send_taps:
+            for tap in self._send_taps:
+                tap(msg)
         return msg
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,105 @@
+"""The observability layer: one attach point for a whole run.
+
+:class:`ObservabilityLayer` bundles the counters, the causality
+recorder and the critical-path extractor behind a single verbosity
+knob, matching ``ExperimentConfig.obs``:
+
+========== ==========================================================
+``off``    nothing attached (the layer refuses this level — callers
+           simply don't construct one)
+``counters`` :class:`~repro.obs.counters.ObsCounters` only
+``paths``  counters + vector clocks + critical-path breakdown
+``trace``  everything above, plus per-CS rows in the report and
+           Chrome trace export
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import IO, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..net.network import Network
+from ..net.topology import GridTopology
+from ..sim.kernel import Simulator
+from .causality import CausalityRecorder
+from .counters import ObsCounters
+from .export import write_chrome_trace
+from .path import CriticalPath, extract_paths
+from .report import ObsReport, build_report
+
+__all__ = ["OBS_LEVELS", "ObservabilityLayer"]
+
+#: Verbosity levels of the ``obs`` experiment knob, in increasing order.
+OBS_LEVELS: Tuple[str, ...] = ("off", "counters", "paths", "trace")
+
+
+class ObservabilityLayer:
+    """Attach observability to a simulation at a chosen verbosity.
+
+    Construct *after* the mutex system (so every handler is registered
+    and gets wrapped) and *before* the workload runs.  The layer never
+    sends traffic or perturbs schedules — instrumented runs stay
+    digest-identical to bare ones.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        level: str = "paths",
+        app_nodes: Optional[Sequence[int]] = None,
+        coordinator_nodes: Sequence[int] = (),
+    ) -> None:
+        if level not in OBS_LEVELS or level == "off":
+            raise ConfigurationError(
+                f"obs level must be one of {OBS_LEVELS[1:]}, got {level!r}"
+            )
+        self.level = level
+        self.sim = sim
+        self.net = net
+        self.topology: GridTopology = net.topology
+        self.coordinator_nodes = tuple(coordinator_nodes)
+        self.counters = ObsCounters(sim, net.topology)
+        self.recorder: Optional[CausalityRecorder] = None
+        if level in ("paths", "trace"):
+            self.recorder = CausalityRecorder(sim, net, app_nodes=app_nodes)
+        self._paths: Optional[Tuple[CriticalPath, ...]] = None
+
+    def detach(self) -> None:
+        """Stop observing; recorded data stays readable."""
+        self.counters.detach()
+        if self.recorder is not None:
+            self.recorder.detach()
+
+    def paths(self) -> Tuple[CriticalPath, ...]:
+        """Critical paths of every completed CS (cached after first call)."""
+        if self.recorder is None:
+            return ()
+        if self._paths is None or len(self._paths) != len(self.recorder.waits):
+            self._paths = extract_paths(
+                self.recorder, self.topology, self.coordinator_nodes
+            )
+        return self._paths
+
+    def report(self) -> ObsReport:
+        """Aggregate everything observed so far into a picklable report."""
+        return build_report(
+            self.level,
+            self.counters.snapshot(),
+            self.paths(),
+            keep_details=(self.level == "trace"),
+        )
+
+    def write_chrome_trace(self, out: Union[str, IO[str]]) -> None:
+        """Export the run as Chrome trace-event JSON (Perfetto-loadable).
+
+        Requires a causality-recording level (``paths`` or ``trace``)."""
+        if self.recorder is None:
+            raise ConfigurationError(
+                "chrome trace export needs obs level 'paths' or 'trace'"
+            )
+        write_chrome_trace(out, self.recorder, self.topology, self.paths())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ObservabilityLayer level={self.level}>"

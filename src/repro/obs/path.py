@@ -1,0 +1,288 @@
+"""Critical-path extraction: why did this CS grant take that long?
+
+For each application CS acquisition the walker starts at the grant and
+walks the causal chain *backwards* to the request, alternating two kinds
+of segments:
+
+* **hop** — a message in flight, found as the latest delivery at the
+  current node that is causally after the request (vector stamp's
+  requester component ``>= req_mark``) and not already consumed by this
+  walk;
+* **gap** — time a node sat between receiving that message and acting
+  (sending the next hop or granting): queueing at a coordinator,
+  token holding at a remote application node, or local processing.
+
+Segments tile ``[requested_at, granted_at]`` contiguously by
+construction, so their durations sum **exactly** to the measured
+obtaining time.  "Exactly" is checked in :class:`fractions.Fraction`
+arithmetic: simulated timestamps are binary floats, i.e. exact dyadic
+rationals, so converting each endpoint to a ``Fraction`` makes the
+telescoping sum an identity rather than an approximation — the
+float-world analogue of integer flow-clock equality.
+
+Category semantics (the decomposition of the paper's obtaining time):
+
+==================== ==================================================
+``intra_latency``    hop between two nodes of the same cluster (LAN)
+``inter_latency``    hop crossing a cluster boundary (WAN)
+``coordinator_queue`` gap at a coordinator node: the request or token
+                     sat in a coordinator/inter-algorithm queue
+``holding``          gap at a non-coordinator application node: the
+                     token was being *used* (or retained) remotely
+``local``            gap at the requesting node itself (request fan-out
+                     processing, or the residual when the chain starts
+                     before the request was issued)
+==================== ==================================================
+
+Locality is judged *relative to the requester*: a segment is ``lan``
+when all its activity stays inside the requester's own cluster, ``wan``
+otherwise — so a remote cluster's LAN hop counts toward the WAN side of
+the requester's wait, matching the paper's reading of Figure 4.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..net.topology import GridTopology
+from .causality import CausalityRecorder, CSWait, DeliveryRecord
+
+__all__ = [
+    "PathSegment",
+    "CriticalPath",
+    "extract_path",
+    "extract_paths",
+    "INTRA_LATENCY",
+    "INTER_LATENCY",
+    "COORDINATOR_QUEUE",
+    "HOLDING",
+    "LOCAL",
+    "CATEGORIES",
+]
+
+INTRA_LATENCY = "intra_latency"
+INTER_LATENCY = "inter_latency"
+COORDINATOR_QUEUE = "coordinator_queue"
+HOLDING = "holding"
+LOCAL = "local"
+
+#: All segment categories, in report order.
+CATEGORIES: Tuple[str, ...] = (
+    INTRA_LATENCY, INTER_LATENCY, COORDINATOR_QUEUE, HOLDING, LOCAL,
+)
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One tile of a critical path: ``[start, end]`` at/into ``node``.
+
+    For hop segments ``src >= 0`` and ``kind`` names the message; gap
+    segments have ``src == -1``.  ``lan`` is locality relative to the
+    *requester's* cluster (see module docstring).
+    """
+
+    category: str
+    start: float
+    end: float
+    node: int
+    src: int = -1
+    kind: str = ""
+    lan: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def exact_duration(self) -> Fraction:
+        return Fraction(self.end) - Fraction(self.start)
+
+    @property
+    def is_hop(self) -> bool:
+        return self.src >= 0
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The full causal decomposition of one CS acquisition."""
+
+    node: int
+    cluster: int
+    port: str
+    requested_at: float
+    granted_at: float
+    segments: Tuple[PathSegment, ...]
+
+    @property
+    def obtaining_time(self) -> float:
+        return self.granted_at - self.requested_at
+
+    def exact_total(self) -> Fraction:
+        """Sum of segment durations in exact rational arithmetic."""
+        total = Fraction(0)
+        for seg in self.segments:
+            total += seg.exact_duration
+        return total
+
+    def is_exact(self) -> bool:
+        """Whether the segments sum *exactly* to the obtaining time."""
+        return self.exact_total() == (
+            Fraction(self.granted_at) - Fraction(self.requested_at)
+        )
+
+    def totals(self) -> Dict[str, Fraction]:
+        """Exact per-category durations (every category present)."""
+        out: Dict[str, Fraction] = {c: Fraction(0) for c in CATEGORIES}
+        for seg in self.segments:
+            out[seg.category] += seg.exact_duration
+        return out
+
+    def locality_split(self) -> Tuple[Fraction, Fraction]:
+        """Exact ``(lan, wan)`` durations relative to the requester."""
+        lan = wan = Fraction(0)
+        for seg in self.segments:
+            if seg.lan:
+                lan += seg.exact_duration
+            else:
+                wan += seg.exact_duration
+        return lan, wan
+
+
+def _find_cause(
+    recorder: CausalityRecorder,
+    node: int,
+    at: float,
+    t_req: float,
+    requester: int,
+    req_mark: int,
+    consumed: FrozenSet[int],
+    grant_step: bool,
+    port: str,
+) -> Optional[DeliveryRecord]:
+    """Latest unconsumed delivery at ``node`` in ``[t_req, at]`` that is
+    causally after the request.
+
+    On the grant step a same-instant delivery on the CS port is accepted
+    even without a causal stamp: algorithms that forward tokens
+    unsolicited (Martin's ring) can grant from a message that left its
+    sender *before* our request existed, yet that message is what the
+    wait was for.
+    """
+    times = recorder.delivery_times[node]
+    recs = recorder.deliveries[node]
+    fallback: Optional[DeliveryRecord] = None
+    i = bisect_right(times, at) - 1
+    while i >= 0:
+        rec = recs[i]
+        if rec.delivered_at < t_req:
+            break
+        if id(rec) not in consumed:
+            stamp = rec.stamp
+            if stamp is not None and stamp[requester] >= req_mark:
+                return rec
+            if (
+                grant_step
+                and fallback is None
+                and rec.port == port
+                and rec.delivered_at == at
+            ):
+                fallback = rec
+        i -= 1
+    return fallback
+
+
+def extract_path(
+    wait: CSWait,
+    recorder: CausalityRecorder,
+    topology: GridTopology,
+    coordinator_nodes: FrozenSet[int] = frozenset(),
+) -> CriticalPath:
+    """Decompose one CS wait into critical-path segments.
+
+    The walk maintains a cursor ``(node, time)`` starting at the grant
+    and repeatedly asks: *which delivery let this node act at this
+    time?*  Each answer contributes a gap tile (time the node sat on the
+    message) and a hop tile (the message's flight, clipped at the
+    request time when it was sent earlier), and moves the cursor to the
+    sender at the send time.  When no causal delivery explains the
+    cursor — the chain has reached activity begun before the request —
+    the remaining span becomes one closing gap tile.
+    """
+    requester = wait.node
+    home = topology.cluster_of(requester)
+    t_req = wait.requested_at
+    cursor_node = requester
+    cursor_t = wait.granted_at
+    consumed: set = set()
+    segments: List[PathSegment] = []
+    grant_step = True
+
+    def gap(node: int, start: float, end: float) -> None:
+        if start == end:
+            return
+        if node == requester:
+            category = LOCAL
+        elif node in coordinator_nodes:
+            category = COORDINATOR_QUEUE
+        else:
+            category = HOLDING
+        segments.append(
+            PathSegment(
+                category, start, end, node,
+                lan=topology.cluster_of(node) == home,
+            )
+        )
+
+    while cursor_t > t_req:
+        rec = _find_cause(
+            recorder, cursor_node, cursor_t, t_req,
+            requester, wait.req_mark, consumed, grant_step, wait.port,
+        )
+        grant_step = False
+        if rec is None:
+            gap(cursor_node, t_req, cursor_t)
+            break
+        consumed.add(id(rec))
+        gap(cursor_node, rec.delivered_at, cursor_t)
+        hop_start = rec.sent_at if rec.sent_at > t_req else t_req
+        if hop_start < rec.delivered_at:
+            intra = topology.same_cluster(rec.src, rec.dst)
+            segments.append(
+                PathSegment(
+                    INTRA_LATENCY if intra else INTER_LATENCY,
+                    hop_start,
+                    rec.delivered_at,
+                    rec.dst,
+                    src=rec.src,
+                    kind=rec.kind,
+                    lan=intra and topology.cluster_of(rec.dst) == home,
+                )
+            )
+        cursor_node = rec.src
+        cursor_t = hop_start
+
+    segments.reverse()
+    return CriticalPath(
+        node=requester,
+        cluster=home,
+        port=wait.port,
+        requested_at=t_req,
+        granted_at=wait.granted_at,
+        segments=tuple(segments),
+    )
+
+
+def extract_paths(
+    recorder: CausalityRecorder,
+    topology: GridTopology,
+    coordinator_nodes: Sequence[int] = (),
+) -> Tuple[CriticalPath, ...]:
+    """Critical paths for every completed CS wait, in grant order."""
+    coords = frozenset(coordinator_nodes)
+    return tuple(
+        extract_path(wait, recorder, topology, coords)
+        for wait in recorder.waits
+    )

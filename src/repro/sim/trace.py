@@ -119,3 +119,21 @@ class Tracer:
     def record_into(self, kind: str, sink: List[TraceRecord]) -> None:
         """Convenience: append every record of ``kind`` to ``sink``."""
         self.subscribe(kind, sink.append)
+
+    def attach(
+        self, handlers: Dict[str, Callable[[TraceRecord], None]]
+    ) -> Callable[[], None]:
+        """Subscribe a ``{kind: fn}`` bundle; returns a detach callable.
+
+        Observers that listen on several kinds at once (checkers, the
+        observability layer) attach and detach as one unit, so no
+        subscription can leak when an observer is torn down."""
+        items = tuple(handlers.items())
+        for kind, fn in items:
+            self.subscribe(kind, fn)
+
+        def detach() -> None:
+            for kind, fn in items:
+                self.unsubscribe(kind, fn)
+
+        return detach

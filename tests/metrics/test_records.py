@@ -1,0 +1,69 @@
+"""Direct unit tests for the measurement record types."""
+
+import pickle
+
+import pytest
+
+from repro.metrics import CSRecord, RecoveryRecord
+
+
+class TestCSRecord:
+    def test_derived_times(self):
+        rec = CSRecord(node=3, cluster=1, requested_at=10.0,
+                       granted_at=14.5, released_at=16.0)
+        assert rec.obtaining_time == 4.5
+        assert rec.cs_duration == 1.5
+
+    def test_zero_wait_and_zero_duration_are_legal(self):
+        rec = CSRecord(node=0, cluster=0, requested_at=2.0,
+                       granted_at=2.0, released_at=2.0)
+        assert rec.obtaining_time == 0.0
+        assert rec.cs_duration == 0.0
+
+    @pytest.mark.parametrize(
+        "req, grant, rel",
+        [
+            (5.0, 4.0, 6.0),   # granted before requested
+            (5.0, 6.0, 5.5),   # released before granted
+            (7.0, 6.0, 5.0),   # fully reversed
+        ],
+    )
+    def test_inconsistent_timestamps_rejected(self, req, grant, rel):
+        with pytest.raises(ValueError, match="inconsistent CS timestamps"):
+            CSRecord(node=0, cluster=0, requested_at=req,
+                     granted_at=grant, released_at=rel)
+
+    def test_frozen_and_hashable(self):
+        rec = CSRecord(0, 0, 1.0, 2.0, 3.0)
+        with pytest.raises(AttributeError):
+            rec.node = 1
+        assert rec == CSRecord(0, 0, 1.0, 2.0, 3.0)
+        assert len({rec, CSRecord(0, 0, 1.0, 2.0, 3.0)}) == 1
+
+    def test_pickle_round_trip(self):
+        rec = CSRecord(2, 1, 1.0, 2.0, 3.0)
+        assert pickle.loads(pickle.dumps(rec)) == rec
+
+
+class TestRecoveryRecord:
+    def make(self, detected=100.0, completed=130.0):
+        return RecoveryRecord(
+            kind="failover", scope="cluster/2", reason="heartbeat",
+            detected_at=detected, completed_at=completed, elected=21,
+        )
+
+    def test_recovery_time(self):
+        assert self.make().recovery_time == 30.0
+
+    def test_instantaneous_recovery_is_legal(self):
+        assert self.make(50.0, 50.0).recovery_time == 0.0
+
+    def test_completion_before_detection_rejected(self):
+        with pytest.raises(ValueError, match="before it was"):
+            self.make(detected=60.0, completed=59.0)
+
+    def test_identity_fields_survive(self):
+        rec = self.make()
+        assert (rec.kind, rec.scope, rec.reason, rec.elected) == (
+            "failover", "cluster/2", "heartbeat", 21
+        )

@@ -1,0 +1,98 @@
+"""The ``python -m repro.obs`` CLI and the runner's obs wiring."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.obs.cli import main
+
+SMALL = [
+    "--clusters", "2", "--apps", "2", "--n-cs", "3", "--rho-over-n", "2",
+]
+
+
+class TestCLI:
+    def test_text_report(self, capsys):
+        assert main(SMALL) == 0
+        out = capsys.readouterr().out
+        assert "exact decomposition" in out
+        assert "counters:" in out
+
+    def test_json_report(self, capsys):
+        assert main([*SMALL, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exact"] is True
+        assert payload["n_paths"] > 0
+        assert set(payload["category_ms"]) == {
+            "intra_latency", "inter_latency", "coordinator_queue",
+            "holding", "local",
+        }
+
+    def test_trace_export_implies_trace_level(self, tmp_path, capsys):
+        target = tmp_path / "run.trace.json"
+        assert main([*SMALL, "--trace", str(target)]) == 0
+        trace = json.loads(target.read_text())
+        assert trace["traceEvents"]
+        assert "obs level: trace" in capsys.readouterr().out
+
+    def test_rho_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main([*SMALL, "--rho", "5"])
+
+    def test_module_entry_point(self, tmp_path):
+        """`python -m repro.obs` resolves and runs end to end."""
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", *SMALL, "--json"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout)["exact"] is True
+
+
+class TestRunnerWiring:
+    def config(self, **overrides):
+        base = dict(
+            system="composition", platform="grid5000",
+            n_clusters=2, apps_per_cluster=2, n_cs=3, rho=8.0, seed=3,
+        )
+        base.update(overrides)
+        return ExperimentConfig(**base)
+
+    def test_obs_off_attaches_nothing(self):
+        result = run_experiment(self.config())
+        assert result.obs_report is None
+
+    def test_invalid_level_rejected_at_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.config(obs="verbose").validate()
+
+    def test_obs_hook_requires_obs_on(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(self.config(), obs_hook=lambda layer: None)
+
+    def test_counters_level_has_no_paths(self):
+        result = run_experiment(self.config(obs="counters"))
+        report = result.obs_report
+        assert report.level == "counters"
+        assert report.n_paths == 0
+        assert report.counters["cs_entries"] >= result.cs_count
+
+    def test_flat_system_has_no_coordinator_queue(self):
+        result = run_experiment(self.config(system="flat", obs="paths"))
+        report = result.obs_report
+        assert report.exact
+        assert report.category_ms["coordinator_queue"] == 0.0
+
+    def test_obs_works_through_sweep_config_with_(self):
+        """The knob survives with_() copies, as sweeps use them."""
+        cfg = self.config().with_(obs="paths", seed=9)
+        result = run_experiment(cfg)
+        assert result.obs_report is not None
+        assert result.obs_report.exact

@@ -1,0 +1,156 @@
+"""Critical-path walker: synthetic scenarios with known decompositions."""
+
+from fractions import Fraction
+
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.obs import (
+    COORDINATOR_QUEUE,
+    HOLDING,
+    INTER_LATENCY,
+    INTRA_LATENCY,
+    CausalityRecorder,
+    extract_paths,
+)
+from repro.sim import Simulator
+
+LAN = 0.5
+WAN = 8.0
+PORT = "intra:c0"
+
+
+def make_world():
+    """Two 2-node clusters; coordinators on nodes 0 and 2."""
+    sim = Simulator(seed=5)
+    topo = uniform_topology(2, 2)
+    net = Network(sim, topo, TwoTierLatency(topo, lan_ms=LAN, wan_ms=WAN,
+                                            jitter=0.0))
+    return sim, topo, net
+
+
+def assert_exact(path):
+    total = sum((s.exact_duration for s in path.segments), Fraction(0))
+    assert total == Fraction(path.granted_at) - Fraction(path.requested_at)
+    assert path.is_exact()
+    # Segments tile the wait contiguously, in order.
+    cursor = path.requested_at
+    for seg in path.segments:
+        assert seg.start == cursor
+        assert seg.end > seg.start
+        cursor = seg.end
+    assert cursor == path.granted_at
+
+
+def test_remote_token_fetch_decomposition():
+    """Request relayed via both coordinators to a remote holder and the
+    token travelling all the way back: every segment lands in the right
+    category, and they tile the wait exactly."""
+    sim, topo, net = make_world()
+
+    # Forward chain: 1 -req-> 0 -req-> 2 -req-> 3 (holds 2 ms)
+    #                1 <-tok- 0 <-tok- 2 <-tok- 3
+    net.register(0, PORT, lambda m: (
+        net.send(0, 2, PORT, "req") if m.kind == "req"
+        else net.send(0, 1, PORT, "tok")
+    ))
+    net.register(2, PORT, lambda m: (
+        net.send(2, 3, PORT, "req") if m.kind == "req"
+        else net.send(2, 0, PORT, "tok")
+    ))
+    net.register(3, PORT, lambda m: sim.schedule(
+        2.0, lambda: net.send(3, 2, PORT, "tok")
+    ))
+    granted = []
+    net.register(1, PORT, lambda m: (
+        sim.trace.emit("cs_enter", time=sim.now, node=1, port=PORT),
+        granted.append(sim.now),
+    ))
+
+    rec = CausalityRecorder(sim, net)
+    sim.trace.emit("cs_request", time=0.0, node=1, port=PORT)
+    net.send(1, 0, PORT, "req")
+    sim.run()
+
+    (path,) = extract_paths(rec, topo, coordinator_nodes=(0, 2))
+    assert path.granted_at == granted[0] == 2 * (2 * LAN + WAN) + 2.0
+    assert_exact(path)
+
+    totals = path.totals()
+    assert totals[INTRA_LATENCY] == Fraction(4 * LAN)
+    assert totals[INTER_LATENCY] == Fraction(2 * WAN)
+    assert totals[HOLDING] == Fraction(2)
+    assert totals[COORDINATOR_QUEUE] == 0
+
+    # Locality is judged against the requester's cluster: only the two
+    # hops touching cluster 0 count as LAN time.
+    lan, wan = path.locality_split()
+    assert lan == Fraction(2 * LAN)
+    assert wan == Fraction(2 * WAN + 2 * LAN + 2)
+
+
+def test_coordinator_queueing_is_attributed():
+    """A coordinator sitting on the request shows up as coordinator_queue."""
+    sim, topo, net = make_world()
+    net.register(0, PORT, lambda m: sim.schedule(
+        3.0, lambda: net.send(0, 1, PORT, "tok")
+    ))
+    net.register(1, PORT, lambda m: sim.trace.emit(
+        "cs_enter", time=sim.now, node=1, port=PORT
+    ))
+    rec = CausalityRecorder(sim, net)
+    sim.trace.emit("cs_request", time=0.0, node=1, port=PORT)
+    net.send(1, 0, PORT, "req")
+    sim.run()
+
+    (path,) = extract_paths(rec, topo, coordinator_nodes=(0, 2))
+    assert_exact(path)
+    assert path.totals()[COORDINATOR_QUEUE] == Fraction(3)
+    assert path.totals()[INTRA_LATENCY] == Fraction(2 * LAN)
+
+
+def test_synchronous_grant_has_empty_path():
+    """A locally satisfied request decomposes into zero segments."""
+    sim, topo, net = make_world()
+    rec = CausalityRecorder(sim, net)
+    sim.trace.emit("cs_request", time=4.0, node=1, port=PORT)
+    sim.trace.emit("cs_enter", time=4.0, node=1, port=PORT)
+    (path,) = extract_paths(rec, topo)
+    assert path.segments == ()
+    assert path.is_exact()
+
+
+def test_unsolicited_token_grant_uses_fallback():
+    """Martin-style: the granting token left its sender *before* the
+    request existed, so no stamp is causally after it — the walker still
+    charges the (clipped) flight of the message that granted."""
+    sim, topo, net = make_world()
+    granted = []
+    net.register(1, PORT, lambda m: (
+        sim.trace.emit("cs_enter", time=sim.now, node=1, port=PORT),
+        granted.append(sim.now),
+    ))
+    rec = CausalityRecorder(sim, net)
+    net.send(0, 1, PORT, "tok")            # in flight before the request
+    sim.trace.emit("cs_request", time=0.2, node=1, port=PORT)
+    sim.run()
+
+    (path,) = extract_paths(rec, topo)
+    assert granted == [LAN]
+    assert_exact(path)
+    (seg,) = path.segments
+    assert seg.category == INTRA_LATENCY
+    assert (seg.start, seg.end) == (0.2, LAN)  # clipped at the request
+
+
+def test_unexplained_wait_becomes_one_residual_gap():
+    """No causal deliveries at all: the whole wait is one gap at the
+    requester (category ``local``), keeping the tiling exact."""
+    sim, topo, net = make_world()
+    rec = CausalityRecorder(sim, net)
+    sim.trace.emit("cs_request", time=1.0, node=1, port=PORT)
+    sim.trace.emit("cs_enter", time=3.5, node=1, port=PORT)
+    (path,) = extract_paths(rec, topo)
+    assert_exact(path)
+    (seg,) = path.segments
+    assert seg.category == "local"
+    assert (seg.start, seg.end) == (1.0, 3.5)
+    assert seg.node == 1 and seg.lan

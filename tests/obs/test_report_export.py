@@ -1,0 +1,137 @@
+"""Report aggregation, text rendering and Chrome trace export."""
+
+import io
+import json
+import pickle
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.obs import (
+    CausalityRecorder,
+    ObservabilityLayer,
+    build_report,
+    chrome_trace,
+    format_obs_report,
+    write_chrome_trace,
+)
+from repro.sim import Simulator
+
+
+def small_config(**overrides):
+    base = dict(
+        system="composition",
+        intra="naimi",
+        inter="naimi",
+        platform="grid5000",
+        n_clusters=3,
+        apps_per_cluster=3,
+        n_cs=4,
+        rho=9.0,
+        seed=7,
+        obs="trace",
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestReport:
+    def test_counters_only_report(self):
+        report = build_report("counters", {"sends": 3})
+        assert report.n_paths == 0
+        assert report.counters == {"sends": 3}
+        text = format_obs_report(report)
+        assert "sends" in text and "critical paths" not in text
+
+    def test_trace_level_keeps_per_cs_rows(self):
+        result = run_experiment(small_config())
+        report = result.obs_report
+        assert report.level == "trace"
+        assert len(report.paths) == report.n_paths == result.cs_count
+        row = report.paths[0]
+        assert row.obtaining_ms >= 0.0
+        assert abs(
+            sum(ms for _, ms in row.category_ms) - row.obtaining_ms
+        ) < 1e-9
+
+    def test_paths_level_omits_per_cs_rows(self):
+        result = run_experiment(small_config(obs="paths"))
+        assert result.obs_report.paths == ()
+        assert result.obs_report.n_paths == result.cs_count
+
+    def test_report_text_includes_breakdown_and_dominance(self):
+        result = run_experiment(small_config())
+        text = format_obs_report(result.obs_report, title="t")
+        assert "exact decomposition" in text
+        assert "inter_latency" in text
+        assert "-dominated" in text
+
+    def test_obs_report_pickles_with_result(self):
+        """Parallel sweeps ship ExperimentResult between processes."""
+        result = run_experiment(small_config())
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.obs_report == result.obs_report
+
+    def test_category_share_of_empty_report_is_zero(self):
+        report = build_report("paths", {})
+        assert report.category_share("holding") == 0.0
+        assert not report.wan_dominated
+
+
+class TestChromeExport:
+    def run_recorded(self):
+        sim = Simulator(seed=2)
+        topo = uniform_topology(2, 2)
+        net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.5, wan_ms=8.0,
+                                                jitter=0.0))
+        for node in topo.nodes:
+            net.register(node, "flat", lambda m: None)
+        rec = CausalityRecorder(sim, net)
+        sim.trace.emit("cs_request", time=0.0, node=1, port="flat")
+        net.send(1, 0, "flat", "req")
+        sim.run()
+        sim.trace.emit("cs_enter", time=sim.now, node=1, port="flat")
+        sim.trace.emit("cs_exit", time=sim.now + 1.0, node=1, port="flat")
+        return rec, topo
+
+    def test_trace_structure(self):
+        rec, topo = self.run_recorded()
+        trace = chrome_trace(rec, topo)
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert names == {"process_name", "thread_name"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans, "expected complete-event spans"
+        for span in spans:
+            assert span["dur"] >= 0.0
+            assert {"pid", "tid", "ts", "name"} <= set(span)
+        # Coordinator nodes are labelled in their process metadata.
+        labels = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert sum("[coordinator]" in lab for lab in labels) == 2
+
+    def test_json_round_trip_via_stream_and_path(self, tmp_path):
+        rec, topo = self.run_recorded()
+        buf = io.StringIO()
+        write_chrome_trace(buf, rec, topo)
+        from_stream = json.loads(buf.getvalue())
+        target = tmp_path / "out.json"
+        write_chrome_trace(str(target), rec, topo)
+        from_file = json.loads(target.read_text())
+        assert from_stream == from_file
+        assert from_file["traceEvents"]
+
+    def test_export_through_layer_requires_causality(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        sim = Simulator(seed=2)
+        topo = uniform_topology(2, 2)
+        net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.5, wan_ms=8.0,
+                                                jitter=0.0))
+        layer = ObservabilityLayer(sim, net, level="counters")
+        with pytest.raises(ConfigurationError):
+            layer.write_chrome_trace(io.StringIO())

@@ -10,10 +10,12 @@ every experiment.)
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.core import Composition
 from repro.metrics import TimelineRecorder
 from repro.net import Network, TwoTierLatency, uniform_topology
+from repro.obs import OBS_LEVELS, ObservabilityLayer
 from repro.sim import Simulator
 from repro.verify import (
     LivenessChecker,
@@ -22,6 +24,8 @@ from repro.verify import (
     RunDigest,
 )
 from repro.workload import deploy_workload
+
+from .digest_scenarios import ALGOS, FAULTS, SYSTEMS, run_cell
 
 
 def run_once(seed: int, observers: str):
@@ -65,6 +69,53 @@ def test_trace_observers_do_not_change_the_run(seed, combo):
     observed_digest, observed_mean = run_once(seed, ",".join(sorted(combo)))
     assert observed_digest == bare_digest
     assert observed_mean == bare_mean
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    level=st.sampled_from(OBS_LEVELS[1:]),
+)
+@settings(max_examples=12, deadline=None)
+def test_obs_layer_does_not_change_the_run(seed, level):
+    """The observability layer (send taps, wrapped handlers, vector
+    clocks, CS tracking) is an observer like any other: attaching it at
+    any verbosity leaves the digest bit-identical."""
+    def run_obs(obs_level):
+        sim = Simulator(seed=seed)
+        topo = uniform_topology(2, 3)
+        net = Network(sim, topo, TwoTierLatency(topo, lan_ms=0.1, wan_ms=6.0,
+                                                jitter=0.2))
+        comp = Composition(sim, net, topo, intra="naimi", inter="martin")
+        digest = RunDigest(sim)
+        if obs_level != "off":
+            ObservabilityLayer(
+                sim, net, level=obs_level,
+                app_nodes=comp.app_nodes,
+                coordinator_nodes=tuple(c.node for c in comp.coordinators),
+            )
+        apps, collector = deploy_workload(comp, alpha_ms=2.0, rho=4.0, n_cs=3)
+        sim.run(until=1_000_000.0)
+        assert all(a.done for a in apps)
+        return digest.hexdigest, collector.obtaining_stats().mean
+
+    assert run_obs(level) == run_obs("off")
+
+
+@pytest.mark.parametrize("level", OBS_LEVELS[1:])
+def test_obs_keeps_all_golden_digests_bit_identical(level):
+    """Across the full {naimi, suzuki, martin} x {flat, composition} x
+    {fault-free, crash} matrix, enabling obs at every verbosity leaves
+    each cell's golden RunDigest bit-identical — observer transparency
+    now covers the new layer, crash/recovery paths included."""
+    from .test_optimization_equivalence import GOLDEN_DIGESTS
+
+    for algo in ALGOS:
+        for system in SYSTEMS:
+            for fault in FAULTS:
+                observed = run_cell(algo, system, fault, obs=level)
+                assert observed == GOLDEN_DIGESTS[(algo, system, fault)], (
+                    f"obs={level} perturbed {algo}/{system}/{fault}"
+                )
 
 
 @given(seed=st.integers(min_value=0, max_value=2**16))
