@@ -18,13 +18,23 @@ The scenarios are chosen to stress complementary paths:
 * ``crash_recovery``   — coordinator crash + failover under the recovery
                          layer: stresses timer cancellation (heartbeat
                          re-arming) and the heap-compaction path.
+* ``fig4_sweep_no_cache`` / ``fig4_sweep_cold_cache`` /
+  ``fig4_sweep_warm_cache`` — the same small Fig. 4 ρ-sweep run without a
+                         cache, against an empty cache (measures the
+                         store's write-path overhead) and against a
+                         pre-populated one (measures the hit path; the
+                         acceptance criterion is warm ≥ 10× faster than
+                         cold).  Wall-clock only: ``events`` is 0 so the
+                         events/sec regression gate skips them.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
+from repro.cache import ExperimentCache
 from repro.core import Composition, CompositionRecovery, RecoveryConfig
 from repro.experiments import ExperimentConfig
 from repro.experiments.runner import build_platform, build_system
@@ -207,10 +217,80 @@ def crash_recovery(quick: bool) -> Dict[str, float]:
     }
 
 
+def _fig4_sweep_configs(quick: bool) -> List[ExperimentConfig]:
+    """A small version of the Fig. 4 ρ/N sweep (one seed per cell)."""
+    apps = 3 if quick else 20
+    n_cs = 6 if quick else 100
+    n_apps = 9 * apps
+    return [
+        ExperimentConfig(
+            system="composition",
+            intra="naimi",
+            inter="naimi",
+            platform="grid5000",
+            n_clusters=9,
+            apps_per_cluster=apps,
+            n_cs=n_cs,
+            rho=rho_over_n * n_apps,
+            seed=1,
+        )
+        for rho_over_n in (0.25, 0.5, 1.0, 2.0)
+    ]
+
+
+def _timed_sweep(
+    configs: List[ExperimentConfig], cache: Optional[ExperimentCache]
+) -> Dict[str, float]:
+    """Time one serial pass of the sweep through the cache-aware runner.
+
+    Serial (``max_workers=1``) so the measurement is the cache code path
+    itself, not process-pool scheduling.  ``events`` is 0: these are
+    wall-clock scenarios and must stay invisible to the events/sec gate.
+    """
+    from repro.experiments.parallel import run_configs_cached
+
+    t0 = time.perf_counter()
+    results = run_configs_cached(configs, cache, max_workers=1)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "events": 0,
+        "messages": sum(r.total_messages for r in results),
+        "cs": sum(r.cs_count for r in results),
+        "sim_ms": sum(r.sim_time_ms for r in results),
+    }
+
+
+def fig4_sweep_no_cache(quick: bool) -> Dict[str, float]:
+    """Baseline: the ρ-sweep with caching off entirely."""
+    return _timed_sweep(_fig4_sweep_configs(quick), None)
+
+
+def fig4_sweep_cold_cache(quick: bool) -> Dict[str, float]:
+    """Every cell misses: execution plus the store's write path."""
+    configs = _fig4_sweep_configs(quick)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        return _timed_sweep(configs, ExperimentCache(cache_dir=tmp))
+
+
+def fig4_sweep_warm_cache(quick: bool) -> Dict[str, float]:
+    """Every cell hits: the read path only (population is untimed)."""
+    configs = _fig4_sweep_configs(quick)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        from repro.experiments.parallel import run_configs_cached
+
+        run_configs_cached(configs, ExperimentCache(cache_dir=tmp),
+                           max_workers=1)
+        return _timed_sweep(configs, ExperimentCache(cache_dir=tmp))
+
+
 #: name -> scenario callable taking ``quick`` and returning raw counters.
 SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "kernel_spin": kernel_spin,
     "fig4_composition": fig4_composition,
     "flat_suzuki": flat_suzuki,
     "crash_recovery": crash_recovery,
+    "fig4_sweep_no_cache": fig4_sweep_no_cache,
+    "fig4_sweep_cold_cache": fig4_sweep_cold_cache,
+    "fig4_sweep_warm_cache": fig4_sweep_warm_cache,
 }

@@ -1,0 +1,43 @@
+"""Acceptance benchmarks for the experiment cache.
+
+The tracked scenarios in :mod:`benchmarks.perf.scenarios` record the
+trajectory; these tests assert the two cache acceptance criteria hold
+on the machine at hand:
+
+* a warm-cache Fig. 4 ρ-sweep is at least 10x faster than a cold one;
+* a cold cache costs at most a few percent over running with no cache
+  at all (best-of-3 on both sides to reject scheduler noise).
+"""
+
+from benchmarks.perf.scenarios import SCENARIO_FNS
+
+
+def _best_of(name: str, repeats: int = 3) -> float:
+    return min(SCENARIO_FNS[name](True)["wall_s"] for _ in range(repeats))
+
+
+def test_warm_sweep_is_at_least_10x_faster_than_cold():
+    cold = _best_of("fig4_sweep_cold_cache", repeats=1)
+    warm = _best_of("fig4_sweep_warm_cache", repeats=3)
+    speedup = cold / warm
+    print(f"fig4 sweep: cold {cold:.3f}s, warm {warm:.4f}s "
+          f"({speedup:.0f}x)")
+    assert speedup >= 10.0, (
+        f"warm cache only {speedup:.1f}x faster than cold"
+    )
+
+
+def test_cold_cache_overhead_is_small():
+    # Interleaved best-of-5: the sweep itself is only ~100 ms, so
+    # back-to-back blocks would measure scheduler drift, not the cache.
+    no_cache = float("inf")
+    cold = float("inf")
+    for _ in range(5):
+        no_cache = min(no_cache, SCENARIO_FNS["fig4_sweep_no_cache"](True)["wall_s"])
+        cold = min(cold, SCENARIO_FNS["fig4_sweep_cold_cache"](True)["wall_s"])
+    overhead = cold / no_cache - 1.0
+    print(f"fig4 sweep: no-cache {no_cache:.3f}s, cold {cold:.3f}s "
+          f"({overhead:+.1%})")
+    assert overhead <= 0.05, (
+        f"cold-cache overhead {overhead:.1%} exceeds 5%"
+    )

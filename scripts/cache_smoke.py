@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the experiment cache (used by CI).
+
+Runs ``reproduce_all`` twice against one fresh cache directory:
+
+1. **cold** — every cell misses, results are computed and stored;
+2. **warm** — the same sweep again (the in-process sweep memo is
+   cleared first, so results really come from disk).
+
+Asserts that the warm pass scored at least one hit and zero misses,
+that it was faster, and that every figure file the two passes wrote is
+byte-for-byte identical — cached results must be indistinguishable
+from computed ones.
+
+Usage::
+
+    python scripts/cache_smoke.py [--full] [--verify N]
+
+Exit status: 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import os
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.cache import ExperimentCache  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    PAPER_SCALE,
+    QUICK_SCALE,
+    clear_sweep_memo,
+    reproduce_all,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="paper scale (minutes; default: quick)")
+    parser.add_argument("--verify", type=int, default=0, metavar="N",
+                        help="re-execute every N-th warm hit and compare")
+    args = parser.parse_args(argv)
+    scale = PAPER_SCALE if args.full else QUICK_SCALE
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        cold_dir = os.path.join(tmp, "cold")
+        warm_dir = os.path.join(tmp, "warm")
+
+        cold_cache = ExperimentCache(cache_dir=cache_dir)
+        t0 = time.perf_counter()
+        cold_figures = reproduce_all(cold_dir, scale=scale, cache=cold_cache)
+        cold_s = time.perf_counter() - t0
+        print(f"cold: {cold_cache.stats.format()}  ({cold_s:.2f}s)")
+        if cold_cache.stats.stores == 0:
+            print("FAIL: cold pass stored nothing")
+            return 1
+
+        clear_sweep_memo()  # force the warm pass back to the disk store
+        warm_cache = ExperimentCache(cache_dir=cache_dir,
+                                     verify_every=args.verify)
+        t0 = time.perf_counter()
+        warm_figures = reproduce_all(warm_dir, scale=scale, cache=warm_cache)
+        warm_s = time.perf_counter() - t0
+        print(f"warm: {warm_cache.stats.format()}  ({warm_s:.2f}s, "
+              f"{cold_s / max(warm_s, 1e-9):.1f}x faster)")
+
+        failures = []
+        if warm_cache.stats.hits < 1:
+            failures.append("warm pass scored no cache hits")
+        if warm_cache.stats.misses:
+            failures.append(
+                f"warm pass missed {warm_cache.stats.misses} time(s)"
+            )
+        if warm_cache.stats.verify_failures:
+            failures.append(
+                f"{warm_cache.stats.verify_failures} verified hit(s) "
+                "did not match re-execution"
+            )
+        if sorted(cold_figures) != sorted(warm_figures):
+            failures.append("cold and warm passes produced different figures")
+
+        for name in sorted(os.listdir(cold_dir)):
+            a, b = os.path.join(cold_dir, name), os.path.join(warm_dir, name)
+            if not os.path.exists(b):
+                failures.append(f"{name}: missing from warm output")
+            elif name != "summary.json" and not filecmp.cmp(a, b, shallow=False):
+                # summary.json legitimately differs (timings + cache stats)
+                failures.append(f"{name}: cold and warm output differ")
+
+        if failures:
+            for line in failures:
+                print(f"FAIL: {line}")
+            return 1
+        print(f"ok: {warm_cache.stats.hits} hit(s), "
+              f"figure outputs byte-identical")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

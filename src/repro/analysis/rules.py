@@ -15,6 +15,9 @@ RPR004    handlers must not drive the kernel (``Simulator.run``/``step``
 RPR005    composition purity: ``repro.mutex`` must not import
           ``repro.core`` (coordinator/composition internals)
 RPR006    no mutable default arguments
+RPR007    figure/suite sweeps must go through the cache-aware entry
+          points — no direct ``run_experiment``/``run_many`` calls in
+          ``repro.experiments.figures`` / ``repro.experiments.suites``
 ========  ==========================================================
 
 Rules yield ``(line, col, message)`` triples; the engine attaches paths,
@@ -37,6 +40,7 @@ __all__ = [
     "KernelReentryRule",
     "CompositionPurityRule",
     "MutableDefaultRule",
+    "CacheBypassRule",
 ]
 
 Finding = Tuple[int, int, str]
@@ -518,6 +522,66 @@ class MutableDefaultRule(Rule):
         return False
 
 
+# --------------------------------------------------------------------- #
+# RPR007 — cache bypass in sweep modules
+# --------------------------------------------------------------------- #
+class CacheBypassRule(Rule):
+    id = "RPR007"
+    summary = (
+        "figure/suite sweeps must go through the cache-aware entry points "
+        "(run_configs_cached / stream_configs_cached / the sweep helpers) — "
+        "a direct run_experiment/run_many call silently bypasses the "
+        "experiment cache and re-executes every cell"
+    )
+
+    #: modules whose job is sweeping the experiment matrix
+    _TARGET_MODULES = ("repro.experiments.figures", "repro.experiments.suites")
+    #: the cache-oblivious runner entry points
+    _BYPASS_SUFFIXES = ("run_experiment", "run_many")
+
+    def applies(self, mod: ModuleInfo) -> bool:
+        return mod.module in self._TARGET_MODULES
+
+    def _origins(self, mod: ModuleInfo) -> Dict[str, str]:
+        """Import-origin map with *relative* imports resolved too
+        (``from .runner import run_many`` → ``repro.experiments.runner.run_many``)."""
+        origins = import_origins(mod.tree)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ImportFrom) and node.level > 0:
+                base = resolve_relative_module(mod, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    origins[local] = f"{base}.{alias.name}" if base else alias.name
+        return origins
+
+    def _is_bypass(self, origin: Optional[str]) -> bool:
+        if origin is None:
+            return False
+        parts = origin.split(".")
+        # Any repro-origin name ending in run_experiment/run_many: the
+        # sweep modules have no legitimate direct caller of either.
+        return parts[-1] in self._BYPASS_SUFFIXES and parts[0] == "repro"
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        origins = self._origins(mod)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_call_origin(node.func, origins)
+            if self._is_bypass(origin):
+                name = origin.split(".")[-1] if origin else "?"
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"direct {name}() call bypasses the experiment cache — "
+                    f"route the sweep through run_configs_cached()/"
+                    f"stream_configs_cached() (or justify with an allow "
+                    f"comment / baseline entry)",
+                )
+
+
 DEFAULT_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -525,4 +589,5 @@ DEFAULT_RULES = (
     KernelReentryRule,
     CompositionPurityRule,
     MutableDefaultRule,
+    CacheBypassRule,
 )

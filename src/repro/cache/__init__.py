@@ -1,0 +1,45 @@
+"""repro.cache — persistent, content-addressed experiment-result cache.
+
+Reproducing the paper's figures re-runs the same (configuration, seed)
+cells hundreds of times across figure suites, acceptance tests and
+benchmarks.  Every run is deterministic — the golden-digest matrix pins
+that — so a result computed once can be reused *verifiably*: entries
+are keyed by the canonical configuration serialization plus a
+fingerprint of every behaviour-relevant source module, and a sampled
+``verify`` mode re-executes hits to prove the store honest.
+
+See ``docs/performance.md`` (caching section) for the key derivation,
+the invalidation rules, and when **not** to cache.
+"""
+
+from .keys import (
+    CACHE_SCHEMA_VERSION,
+    DIGEST_RELEVANT_PACKAGES,
+    canonical_json,
+    code_fingerprint,
+    config_key,
+)
+from .store import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_MAX_BYTES,
+    CacheSpec,
+    CacheStats,
+    ExperimentCache,
+    cache_from_env,
+    resolve_cache,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DIGEST_RELEVANT_PACKAGES",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_BYTES",
+    "CacheSpec",
+    "CacheStats",
+    "ExperimentCache",
+    "cache_from_env",
+    "canonical_json",
+    "code_fingerprint",
+    "config_key",
+    "resolve_cache",
+]

@@ -14,6 +14,7 @@ from .figures import (
     QUICK_SCALE,
     FigureData,
     FigureScale,
+    clear_sweep_memo,
     fig4a,
     fig4b,
     fig5a,
@@ -30,7 +31,12 @@ from .runner import (
     run_flat,
     run_many,
 )
-from .parallel import run_configs_parallel, run_many_parallel
+from .parallel import (
+    run_configs_cached,
+    run_configs_parallel,
+    run_many_parallel,
+    stream_configs_cached,
+)
 from .scalability import ScalabilityPoint, scalability_study
 from .suites import reproduce_all
 from .theory import (
@@ -70,6 +76,9 @@ __all__ = [
     "reproduce_all",
     "run_many_parallel",
     "run_configs_parallel",
+    "run_configs_cached",
+    "stream_configs_cached",
+    "clear_sweep_memo",
     "ALGORITHM_MODELS",
     "expected_messages_per_cs",
     "expected_obtaining_high_parallelism",

@@ -1,0 +1,8 @@
+"""``python -m repro.experiments`` entry point (same CLI as ``repro-mutex``)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

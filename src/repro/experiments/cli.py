@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from ..cache.store import ExperimentCache, cache_from_env
 from ..grid.grid5000 import GRID5000_RTT_MS, GRID5000_SITES
 from ..metrics.report import format_matrix, format_table
 from ..mutex.registry import available_algorithms
@@ -30,6 +31,45 @@ from .runner import run_experiment
 from .scalability import scalability_study
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("experiment cache")
+    group.add_argument(
+        "--cache", action="store_true",
+        help="reuse cached results from the experiment cache "
+             "(also enabled by REPRO_CACHE=1)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="force caching off, overriding --cache and REPRO_CACHE",
+    )
+    group.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    group.add_argument(
+        "--cache-verify", metavar="N", type=int, default=0,
+        help="re-execute every N-th cache hit and compare against the "
+             "stored result (0 = trust hits; implies --cache)",
+    )
+
+
+def _cache_from_args(args) -> Optional[ExperimentCache]:
+    """The cache the flags ask for: ``None`` means caching is off."""
+    if args.no_cache:
+        return None
+    if args.cache or args.cache_dir is not None or args.cache_verify:
+        return ExperimentCache(
+            cache_dir=args.cache_dir, verify_every=args.cache_verify
+        )
+    return cache_from_env()
+
+
+def _print_cache_stats(cache: Optional[ExperimentCache]) -> None:
+    # Stats go to stderr so JSON/CSV on stdout stays machine-parseable.
+    if cache is not None:
+        print(cache.stats.format(), file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--jitter", type=float, default=0.0)
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON instead of text")
+    _add_cache_flags(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("figure", choices=sorted(ALL_FIGURES))
@@ -68,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="table")
     fig_p.add_argument("--out", metavar="FILE",
                        help="write to FILE instead of stdout")
+    _add_cache_flags(fig_p)
 
     rep_p = sub.add_parser(
         "reproduce", help="regenerate every figure into a directory"
@@ -77,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="paper scale (9x20 nodes, 100 CS, 10 seeds)")
     rep_p.add_argument("--figures", nargs="+", choices=sorted(ALL_FIGURES),
                        help="subset of figures (default: all)")
+    _add_cache_flags(rep_p)
 
     sub.add_parser("algorithms", help="list registered algorithms")
     sub.add_parser("latency", help="print the Grid'5000 RTT matrix (Fig 3)")
@@ -102,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--platform", default="grid5000",
                        choices=("grid5000", "two-tier", "random-wan"))
     cmp_p.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    _add_cache_flags(cmp_p)
 
     return parser
 
@@ -123,7 +167,9 @@ def _cmd_run(args) -> int:
         algorithms=("naimi", "naimi") if args.system == "multilevel" else (),
         hierarchy=tuple(range(args.clusters)) if args.system == "multilevel" else None,
     )
-    result = run_experiment(config)
+    cache = _cache_from_args(args)
+    result = run_experiment(config, cache=cache)
+    _print_cache_stats(cache)
     if args.json:
         from .export import results_to_json
 
@@ -142,7 +188,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_figure(args) -> int:
     scale: FigureScale = PAPER_SCALE if args.full else QUICK_SCALE
-    data = ALL_FIGURES[args.figure](scale)
+    cache = _cache_from_args(args)
+    data = ALL_FIGURES[args.figure](scale, cache=cache)
+    _print_cache_stats(cache)
     if args.format == "csv":
         from .export import figure_to_csv
 
@@ -205,7 +253,11 @@ def _cmd_reproduce(args) -> int:
     from .suites import reproduce_all
 
     scale = PAPER_SCALE if args.full else QUICK_SCALE
-    results = reproduce_all(args.out_dir, scale=scale, figures=args.figures)
+    cache = _cache_from_args(args)
+    results = reproduce_all(
+        args.out_dir, scale=scale, figures=args.figures, cache=cache
+    )
+    _print_cache_stats(cache)
     for figure_id, data in results.items():
         print(data.to_table())
         print()
@@ -216,6 +268,7 @@ def _cmd_reproduce(args) -> int:
 def _cmd_compare(args) -> int:
     from .runner import run_many
 
+    cache = _cache_from_args(args)
     n_apps = args.clusters * args.apps
     base = ExperimentConfig(
         n_clusters=args.clusters,
@@ -237,7 +290,7 @@ def _cmd_compare(args) -> int:
                     "or flat:ALGO"
                 )
             cfg = base.with_(intra=intra, inter=inter)
-        agg = run_many(cfg, seeds=tuple(args.seeds))
+        agg = run_many(cfg, seeds=tuple(args.seeds), cache=cache)
         rows.append((
             agg.name,
             agg.obtaining.mean,
@@ -253,6 +306,7 @@ def _cmd_compare(args) -> int:
         ["system", "obtain (ms)", "std", "sigma_r", "inter msg/CS", "msg/CS"],
         rows,
     ))
+    _print_cache_stats(cache)
     return 0
 
 

@@ -112,6 +112,20 @@ class ExperimentConfig:
         """A modified copy (convenience for sweeps)."""
         return replace(self, **changes)
 
+    def cache_key(self) -> str:
+        """Canonical JSON serialization for content-addressed caching.
+
+        Every field participates (the seed included), keys are sorted so
+        field order can never matter, nested ``hierarchy`` tuples render
+        as JSON arrays, and floats use their shortest round-trip
+        ``repr``.  ``tests/cache/test_keys.py`` pins the exact output:
+        any drift between Python versions or refactors fails loudly
+        instead of silently splitting (or, worse, aliasing) cache keys.
+        """
+        from ..cache.keys import canonical_json
+
+        return canonical_json(self)
+
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
         if self.system not in SYSTEMS:

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cache.store import CacheStats, ExperimentCache, resolve_cache
+from ..metrics.analysis import pooled
 from ..workload.behavior import PAPER_RHO_OVER_N_GRID
 from .config import ExperimentConfig
-from .runner import AggregateResult, run_many
+from .runner import AggregateResult
 
 __all__ = [
     "FigureScale",
@@ -30,6 +31,8 @@ __all__ = [
     "FigureData",
     "inter_sweep",
     "intra_sweep",
+    "clear_sweep_memo",
+    "last_sweep_cache_stats",
     "fig4a",
     "fig4b",
     "fig5a",
@@ -93,10 +96,33 @@ class FigureData:
 
 
 # --------------------------------------------------------------------- #
-# sweeps (cached per scale)
+# sweeps (memoized per scale, backed by the experiment cache)
 # --------------------------------------------------------------------- #
 SweepKey = Tuple[str, float]  # (curve label, rho_over_n)
 Sweep = Dict[SweepKey, AggregateResult]
+
+#: In-process memo replacing the old unbounded ``lru_cache``: the four
+#: Fig 4/5 generators share one sweep per scale, but a long-lived
+#: process sweeping many scales no longer pins every result set in
+#: memory forever — persistence is the job of the on-disk
+#: :class:`~repro.cache.ExperimentCache`, not of this dict.
+_SWEEP_MEMO: "Dict[Tuple[str, FigureScale], Sweep]" = {}
+_SWEEP_MEMO_MAX = 4
+
+#: Counter snapshot of the last sweep that consulted the experiment
+#: cache (for CLI/suite reporting); ``None`` when caching was off.
+_LAST_CACHE_STATS: List[Optional[CacheStats]] = [None]
+
+
+def clear_sweep_memo() -> None:
+    """Drop the in-process sweep memo (tests and cache-smoke runs)."""
+    _SWEEP_MEMO.clear()
+    _LAST_CACHE_STATS[0] = None
+
+
+def last_sweep_cache_stats() -> Optional[CacheStats]:
+    """Experiment-cache counters of the most recent uncached-memo sweep."""
+    return _LAST_CACHE_STATS[0]
 
 
 def _base_config(scale: FigureScale) -> ExperimentConfig:
@@ -107,34 +133,88 @@ def _base_config(scale: FigureScale) -> ExperimentConfig:
     )
 
 
-@lru_cache(maxsize=None)
-def inter_sweep(scale: FigureScale) -> Sweep:
-    """The Fig 4/5 matrix: intra fixed to Naimi, inter ∈ {Naimi, Martin,
-    Suzuki}, plus the original (flat) Naimi baseline."""
-    base = _base_config(scale)
+def _run_sweep(
+    kind: str,
+    scale: FigureScale,
+    cells: Sequence[Tuple[SweepKey, ExperimentConfig]],
+    cache: "ExperimentCache | str | None",
+) -> Sweep:
+    """Run ``cells`` (label → config template) × seeds through the
+    incremental scheduler and pool the per-cell aggregates."""
+    memo_key = (kind, scale)
+    memo = _SWEEP_MEMO.get(memo_key)
+    if memo is not None:
+        return memo
+    store = resolve_cache(cache)
+    configs = [
+        cfg.with_(seed=seed) for _, cfg in cells for seed in scale.seeds
+    ]
+    from .parallel import run_configs_cached  # runtime import: no cycle
+
+    parallel_worthwhile = len(configs) >= 4
+    results = run_configs_cached(
+        configs,
+        cache=store,
+        max_workers=None if parallel_worthwhile else 1,
+        reuse_pool=True,
+    )
     out: Sweep = {}
+    n_seeds = len(scale.seeds)
+    for c, (key, _) in enumerate(cells):
+        runs = tuple(results[c * n_seeds: (c + 1) * n_seeds])
+        out[key] = AggregateResult(
+            name=runs[0].name,
+            runs=runs,
+            obtaining=pooled([r.obtaining for r in runs]),
+        )
+    if len(_SWEEP_MEMO) >= _SWEEP_MEMO_MAX:
+        _SWEEP_MEMO.pop(next(iter(_SWEEP_MEMO)))
+    _SWEEP_MEMO[memo_key] = out
+    _LAST_CACHE_STATS[0] = store.stats.snapshot() if store else None
+    return out
+
+
+def inter_sweep(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> Sweep:
+    """The Fig 4/5 matrix: intra fixed to Naimi, inter ∈ {Naimi, Martin,
+    Suzuki}, plus the original (flat) Naimi baseline.
+
+    ``cache="auto"`` consults the experiment cache when ``REPRO_CACHE``
+    is set (see :func:`repro.cache.cache_from_env`); pass an
+    :class:`~repro.cache.ExperimentCache` to use one explicitly or
+    ``None`` to force execution."""
+    base = _base_config(scale)
+    cells: List[Tuple[SweepKey, ExperimentConfig]] = []
     for x in scale.rho_over_n:
         rho = x * scale.n_apps
         for inter in ("naimi", "martin", "suzuki"):
-            cfg = base.with_(intra="naimi", inter=inter, rho=rho)
-            out[(f"naimi-{inter}", x)] = run_many(cfg, scale.seeds)
-        flat = base.with_(system="flat", intra="naimi", rho=rho)
-        out[("naimi (flat)", x)] = run_many(flat, scale.seeds)
-    return out
+            cells.append((
+                (f"naimi-{inter}", x),
+                base.with_(intra="naimi", inter=inter, rho=rho),
+            ))
+        cells.append((
+            ("naimi (flat)", x),
+            base.with_(system="flat", intra="naimi", rho=rho),
+        ))
+    return _run_sweep("inter", scale, cells, cache)
 
 
-@lru_cache(maxsize=None)
-def intra_sweep(scale: FigureScale) -> Sweep:
+def intra_sweep(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> Sweep:
     """The Fig 6 matrix: inter fixed to Naimi, intra ∈ {Naimi, Martin,
     Suzuki}."""
     base = _base_config(scale)
-    out: Sweep = {}
+    cells: List[Tuple[SweepKey, ExperimentConfig]] = []
     for x in scale.rho_over_n:
         rho = x * scale.n_apps
         for intra in ("naimi", "martin", "suzuki"):
-            cfg = base.with_(intra=intra, inter="naimi", rho=rho)
-            out[(f"{intra}-naimi", x)] = run_many(cfg, scale.seeds)
-    return out
+            cells.append((
+                (f"{intra}-naimi", x),
+                base.with_(intra=intra, inter="naimi", rho=rho),
+            ))
+    return _run_sweep("intra", scale, cells, cache)
 
 
 def _extract(
@@ -156,9 +236,11 @@ _INTRA_LABELS = ("naimi-naimi", "martin-naimi", "suzuki-naimi")
 # --------------------------------------------------------------------- #
 # figure generators
 # --------------------------------------------------------------------- #
-def fig4a(scale: FigureScale) -> FigureData:
+def fig4a(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> FigureData:
     """Fig 4(a): obtaining time of application processes vs ρ."""
-    sweep = inter_sweep(scale)
+    sweep = inter_sweep(scale, cache=cache)
     return FigureData(
         "fig4a",
         "Composition evaluation: obtaining time",
@@ -170,9 +252,11 @@ def fig4a(scale: FigureScale) -> FigureData:
     )
 
 
-def fig4b(scale: FigureScale) -> FigureData:
+def fig4b(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> FigureData:
     """Fig 4(b): inter-cluster sent messages per CS vs ρ."""
-    sweep = inter_sweep(scale)
+    sweep = inter_sweep(scale, cache=cache)
     return FigureData(
         "fig4b",
         "Composition evaluation: inter-cluster sent messages",
@@ -184,9 +268,11 @@ def fig4b(scale: FigureScale) -> FigureData:
     )
 
 
-def fig5a(scale: FigureScale) -> FigureData:
+def fig5a(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> FigureData:
     """Fig 5(a): standard deviation of the obtaining time vs ρ."""
-    sweep = inter_sweep(scale)
+    sweep = inter_sweep(scale, cache=cache)
     return FigureData(
         "fig5a",
         "Obtaining time standard deviation",
@@ -198,9 +284,11 @@ def fig5a(scale: FigureScale) -> FigureData:
     )
 
 
-def fig5b(scale: FigureScale) -> FigureData:
+def fig5b(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> FigureData:
     """Fig 5(b): relative deviation σ_r = σ/mean vs ρ."""
-    sweep = inter_sweep(scale)
+    sweep = inter_sweep(scale, cache=cache)
     return FigureData(
         "fig5b",
         "Obtaining time relative deviation",
@@ -212,9 +300,11 @@ def fig5b(scale: FigureScale) -> FigureData:
     )
 
 
-def fig6a(scale: FigureScale) -> FigureData:
+def fig6a(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> FigureData:
     """Fig 6(a): obtaining time vs ρ for the intra algorithm choice."""
-    sweep = intra_sweep(scale)
+    sweep = intra_sweep(scale, cache=cache)
     return FigureData(
         "fig6a",
         "Intra algorithm choice: obtaining time",
@@ -226,10 +316,12 @@ def fig6a(scale: FigureScale) -> FigureData:
     )
 
 
-def fig6b(scale: FigureScale) -> FigureData:
+def fig6b(
+    scale: FigureScale, cache: "ExperimentCache | str | None" = "auto"
+) -> FigureData:
     """Fig 6(b): obtaining time std vs ρ for the intra algorithm choice
     (the paper's "regularity" argument for Naimi intra)."""
-    sweep = intra_sweep(scale)
+    sweep = intra_sweep(scale, cache=cache)
     return FigureData(
         "fig6b",
         "Intra algorithm choice: obtaining time standard deviation",

@@ -33,6 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..cache.store import ExperimentCache
 from ..errors import ConfigurationError
 from ..metrics.analysis import pooled
 from .config import ExperimentConfig
@@ -41,7 +42,9 @@ from .runner import AggregateResult, ExperimentResult, run_experiment
 __all__ = [
     "run_many_parallel",
     "run_configs_parallel",
+    "run_configs_cached",
     "stream_configs_parallel",
+    "stream_configs_cached",
     "warm_pool",
     "shutdown_warm_pool",
     "compute_chunksize",
@@ -185,6 +188,78 @@ def _stream_validated(
         for i in range(len(configs)):
             if i not in done_idx:
                 yield i, run_experiment(configs[i])
+
+
+def stream_configs_cached(
+    configs: Sequence[ExperimentConfig],
+    cache: Optional[ExperimentCache],
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    reuse_pool: bool = False,
+) -> Iterator[Tuple[int, ExperimentResult]]:
+    """The incremental sweep scheduler: hits stream first, misses run.
+
+    Partitions ``configs`` against the experiment cache: hits are
+    yielded immediately (in config order), then the misses — and any
+    hits sampled for verification — are submitted to the (warm) pool in
+    chunks and yielded as they complete.  Fresh results are stored back
+    into the cache from this process, so concurrent sweeps sharing a
+    cache directory converge after one racing window.  With
+    ``cache=None`` this is exactly :func:`stream_configs_parallel`.
+    """
+    if cache is None:
+        yield from stream_configs_parallel(
+            configs, max_workers=max_workers, chunksize=chunksize,
+            reuse_pool=reuse_pool,
+        )
+        return
+    if not configs:
+        raise ConfigurationError("stream_configs_cached needs >= 1 config")
+    for config in configs:
+        config.validate()
+
+    # Partition: stream hits now, queue misses (and sampled hits, whose
+    # cached value must not escape before verification confirms it).
+    to_run: List[Tuple[int, Optional[ExperimentResult]]] = []
+    for i, config in enumerate(configs):
+        cached = cache.get(config)
+        if cached is None:
+            to_run.append((i, None))
+        elif cache.should_verify():
+            to_run.append((i, cached))
+        else:
+            yield i, cached
+    if not to_run:
+        return
+
+    queued = [configs[i] for i, _ in to_run]
+    for j, result in _stream_validated(
+        queued, max_workers, chunksize, reuse_pool
+    ):
+        i, expected = to_run[j]
+        if expected is None:
+            cache.put(configs[i], result)
+        elif not cache.record_verification(expected, result):
+            cache.put(configs[i], result)  # replace the stale entry
+        yield i, result
+
+
+def run_configs_cached(
+    configs: Sequence[ExperimentConfig],
+    cache: Optional[ExperimentCache],
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    reuse_pool: bool = False,
+) -> List[ExperimentResult]:
+    """Ordered-list front door over :func:`stream_configs_cached`."""
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    for i, result in stream_configs_cached(
+        configs, cache, max_workers=max_workers, chunksize=chunksize,
+        reuse_pool=reuse_pool,
+    ):
+        results[i] = result
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 def run_configs_parallel(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..cache.store import ExperimentCache
 from ..core.adaptive import AdaptiveComposition
 from ..core.composition import Composition, FlatMutex, MutexSystem
 from ..core.multilevel import MultilevelComposition
@@ -31,6 +32,7 @@ from .config import ExperimentConfig
 __all__ = [
     "ExperimentResult",
     "AggregateResult",
+    "PARALLEL_SEED_THRESHOLD",
     "run_experiment",
     "run_many",
     "run_composition",
@@ -157,6 +159,7 @@ def _to_lists(spec):
 def run_experiment(
     config: ExperimentConfig,
     obs_hook: Optional[Callable[[ObservabilityLayer], None]] = None,
+    cache: Optional[ExperimentCache] = None,
 ) -> ExperimentResult:
     """Run one configured simulation to completion and aggregate.
 
@@ -164,10 +167,38 @@ def run_experiment(
     :class:`~repro.obs.ObservabilityLayer` after the run completes
     (before the report is frozen) — the CLI uses it to export Chrome
     traces.  It requires ``config.obs != "off"``.
+
+    ``cache``, if given, consults a :class:`~repro.cache.ExperimentCache`
+    before executing and stores the result afterwards.  Caching is
+    strictly opt-in here: without an explicit cache this function always
+    executes, so tier-1 correctness paths (which run with
+    ``check_safety=True``) exercise the safety checker on every call.
+    An ``obs_hook`` needs the live observability layer, so it bypasses
+    the cache entirely.
     """
     config.validate()
     if obs_hook is not None and config.obs == "off":
         raise ConfigurationError("obs_hook requires config.obs != 'off'")
+    if cache is None or obs_hook is not None:
+        return _execute_experiment(config, obs_hook)
+    cached = cache.get(config)
+    if cached is not None:
+        if cache.should_verify():
+            fresh = _execute_experiment(config, None)
+            if not cache.record_verification(cached, fresh):
+                cache.put(config, fresh)  # replace the stale entry
+            return fresh
+        return cached
+    result = _execute_experiment(config, None)
+    cache.put(config, result)
+    return result
+
+
+def _execute_experiment(
+    config: ExperimentConfig,
+    obs_hook: Optional[Callable[[ObservabilityLayer], None]] = None,
+) -> ExperimentResult:
+    """The uncached run: build, simulate, check, aggregate."""
     sim = Simulator(seed=config.seed, tie_seed=config.tie_seed)
     topology, latency = build_platform(config)
     if config.batch_jitter:
@@ -250,13 +281,40 @@ def run_experiment(
     )
 
 
+#: ``run_many`` routes through the warm worker pool once a seed batch
+#: reaches this size; smaller jobs stay serial in-process (a pool round
+#: trip costs more than two or three quick runs).
+PARALLEL_SEED_THRESHOLD = 4
+
+
 def run_many(
-    config: ExperimentConfig, seeds: Sequence[int] = (0, 1, 2)
+    config: ExperimentConfig,
+    seeds: Sequence[int] = (0, 1, 2),
+    cache: Optional[ExperimentCache] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> AggregateResult:
-    """Run the same configuration over several seeds and pool the stats."""
+    """Run the same configuration over several seeds and pool the stats.
+
+    Seed batches of :data:`PARALLEL_SEED_THRESHOLD` or more run through
+    the shared warm pool (``parallel=None`` is this auto mode; pass
+    ``True``/``False`` to force either way).  Results are bit-identical
+    to serial execution and come back in seed order.  ``cache`` streams
+    known seeds from the experiment cache and only computes the misses.
+    """
     if not seeds:
         raise ConfigurationError("run_many needs at least one seed")
-    runs = tuple(run_experiment(config.with_(seed=s)) for s in seeds)
+    configs = [config.with_(seed=s) for s in seeds]
+    if parallel is None:
+        parallel = len(configs) >= PARALLEL_SEED_THRESHOLD
+    if parallel and len(configs) > 1 and max_workers != 1:
+        from .parallel import run_configs_cached  # runtime import: no cycle
+
+        runs = tuple(run_configs_cached(
+            configs, cache=cache, max_workers=max_workers, reuse_pool=True,
+        ))
+    else:
+        runs = tuple(run_experiment(c, cache=cache) for c in configs)
     return AggregateResult(
         name=runs[0].name,
         runs=runs,

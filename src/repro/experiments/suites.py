@@ -5,6 +5,11 @@ paper's evaluation at the given scale and writes, per figure, a text
 table (what the benchmarks print), a long-format CSV and a JSON
 document — plus a ``summary.json`` with scale metadata.  Exposed on the
 CLI as ``repro-mutex reproduce``.
+
+With a cache (``cache="auto"`` honours ``REPRO_CACHE=1``; the CLI's
+``--cache`` flags pass one explicitly), every (config, seed) cell
+already present in the experiment cache streams instead of re-running,
+and the cache counters land in ``summary.json`` under ``"cache"``.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..cache.store import ExperimentCache, resolve_cache
 from .figures import ALL_FIGURES, FigureData, FigureScale, scale_from_env
 from .export import figure_to_csv, figure_to_json
 
@@ -24,11 +30,14 @@ def reproduce_all(
     out_dir: str | Path,
     scale: Optional[FigureScale] = None,
     figures: Optional[list[str]] = None,
+    cache: "ExperimentCache | str | None" = "auto",
 ) -> Dict[str, FigureData]:
     """Regenerate figures and write their artefacts under ``out_dir``.
 
     Returns the generated :class:`FigureData` by figure id.  ``figures``
-    restricts the set (default: all six).
+    restricts the set (default: all six).  ``cache`` follows the sweep
+    convention: ``"auto"`` (environment-controlled), an explicit
+    :class:`~repro.cache.ExperimentCache`, or ``None`` for no caching.
     """
     if scale is None:
         scale = scale_from_env()
@@ -36,6 +45,7 @@ def reproduce_all(
     unknown = [f for f in wanted if f not in ALL_FIGURES]
     if unknown:
         raise KeyError(f"unknown figures: {unknown}")
+    store = resolve_cache(cache)
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
@@ -45,7 +55,7 @@ def reproduce_all(
         # Wall-clock here times the *generation* of a figure for the run
         # summary; no simulated behaviour depends on it.
         started = time.perf_counter()  # repro: allow[RPR001] host-side telemetry
-        data = ALL_FIGURES[figure_id](scale)
+        data = ALL_FIGURES[figure_id](scale, cache=store)
         timings[figure_id] = time.perf_counter() - started  # repro: allow[RPR001] host-side telemetry
         results[figure_id] = data
         (out / f"{figure_id}.txt").write_text(data.to_table() + "\n")
@@ -64,6 +74,18 @@ def reproduce_all(
         },
         "wall_seconds": timings,
     }
+    if store is not None:
+        summary["cache"] = {
+            "dir": str(store.root),
+            "fingerprint": store.fingerprint,
+            "hits": store.stats.hits,
+            "misses": store.stats.misses,
+            "stores": store.stats.stores,
+            "evictions": store.stats.evictions,
+            "corrupt": store.stats.corrupt,
+            "verified": store.stats.verified,
+            "verify_failures": store.stats.verify_failures,
+        }
     (out / "summary.json").write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"
     )

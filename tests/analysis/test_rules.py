@@ -8,6 +8,7 @@ from pathlib import Path
 from repro.analysis.engine import ModuleInfo, module_name_for
 from repro.analysis.rules import (
     DEFAULT_RULES,
+    CacheBypassRule,
     CompositionPurityRule,
     KernelReentryRule,
     MutableDefaultRule,
@@ -363,9 +364,110 @@ class TestMutableDefault:
 
 
 # --------------------------------------------------------------------- #
+# RPR007 — cache bypass in sweep modules
+# --------------------------------------------------------------------- #
+FIGURES_PATH = "src/repro/experiments/figures.py"
+SUITES_PATH = "src/repro/experiments/suites.py"
+
+
+class TestCacheBypass:
+    def test_flags_relative_run_many_import(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            from .runner import run_many
+
+            def sweep(configs, seeds):
+                return [run_many(c, seeds) for c in configs]
+            """,
+            path=FIGURES_PATH,
+        )
+        assert len(findings) == 1
+        assert "bypasses the experiment cache" in findings[0][2]
+
+    def test_flags_module_attribute_call_in_suites(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            from . import runner
+
+            def regenerate(config):
+                return runner.run_experiment(config)
+            """,
+            path=SUITES_PATH,
+        )
+        assert len(findings) == 1
+        assert "run_experiment" in findings[0][2]
+
+    def test_flags_package_level_import(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            from repro.experiments import run_experiment
+
+            def cell(config):
+                return run_experiment(config)
+            """,
+            path=FIGURES_PATH,
+        )
+        assert len(findings) == 1
+
+    def test_cache_aware_entry_points_are_clean(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            from .parallel import run_configs_cached
+
+            def sweep(configs, cache):
+                return run_configs_cached(configs, cache=cache)
+            """,
+            path=FIGURES_PATH,
+        )
+        assert findings == []
+
+    def test_locally_defined_name_is_clean(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            def run_many(configs):
+                return list(configs)
+
+            def sweep(configs):
+                return run_many(configs)
+            """,
+            path=FIGURES_PATH,
+        )
+        assert findings == []
+
+    def test_other_experiment_modules_are_out_of_scope(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            from .runner import run_experiment
+
+            def drive(config):
+                return run_experiment(config)
+            """,
+            path="src/repro/experiments/scalability.py",
+        )
+        assert findings is None
+
+    def test_shipped_sweep_modules_are_clean(self):
+        import repro.experiments.figures as figures
+        import repro.experiments.suites as suites
+
+        for module in (figures, suites):
+            path = Path(module.__file__)
+            findings = run_rule(
+                CacheBypassRule, path.read_text(), path=str(path)
+            )
+            assert findings == [], f"{path} bypasses the cache: {findings}"
+
+
+# --------------------------------------------------------------------- #
 # shared plumbing
 # --------------------------------------------------------------------- #
-def test_default_rules_cover_all_six_ids():
+def test_default_rules_cover_all_seven_ids():
     assert [cls.id for cls in DEFAULT_RULES] == [
         "RPR001",
         "RPR002",
@@ -373,6 +475,7 @@ def test_default_rules_cover_all_six_ids():
         "RPR004",
         "RPR005",
         "RPR006",
+        "RPR007",
     ]
     assert all(cls.summary for cls in DEFAULT_RULES)
 

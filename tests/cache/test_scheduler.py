@@ -1,0 +1,163 @@
+"""Incremental sweep scheduler and concurrent shared-cache stress tests."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.cache.store import CacheSpec, ExperimentCache
+from repro.experiments import (
+    ExperimentConfig,
+    run_configs_cached,
+    run_experiment,
+    run_many,
+    stream_configs_cached,
+)
+from repro.experiments.parallel import run_configs_parallel
+
+CFG = ExperimentConfig(n_clusters=2, apps_per_cluster=2, n_cs=3, rho=4.0,
+                       platform="two-tier")
+CONFIGS = [CFG.with_(seed=s) for s in range(4)]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ExperimentCache(cache_dir=tmp_path / "cache")
+
+
+class TestStreamConfigsCached:
+    def test_cold_sweep_matches_uncached_and_fills_cache(self, cache):
+        expected = [run_experiment(c) for c in CONFIGS]
+        got = run_configs_cached(CONFIGS, cache, max_workers=2)
+        assert got == expected
+        assert cache.stats.misses == len(CONFIGS)
+        assert cache.stats.stores == len(CONFIGS)
+
+    def test_warm_sweep_is_all_hits_and_identical(self, cache):
+        cold = run_configs_cached(CONFIGS, cache, max_workers=2)
+        warm = run_configs_cached(CONFIGS, cache, max_workers=2)
+        assert warm == cold
+        assert cache.stats.hits == len(CONFIGS)
+
+    def test_hits_stream_before_misses(self, cache):
+        # warm the first two seeds only
+        run_configs_cached(CONFIGS[:2], cache, max_workers=1)
+        order = [i for i, _ in stream_configs_cached(CONFIGS, cache,
+                                                     max_workers=1)]
+        assert order[:2] == [0, 1]          # hits first, in config order
+        assert sorted(order[2:]) == [2, 3]  # then the computed misses
+
+    def test_partial_warm_only_computes_misses(self, cache):
+        run_configs_cached(CONFIGS[:2], cache, max_workers=1)
+        before = cache.stats.snapshot()
+        got = run_configs_cached(CONFIGS, cache, max_workers=1)
+        assert got == [run_experiment(c) for c in CONFIGS]
+        assert cache.stats.hits - before.hits == 2
+        assert cache.stats.stores - before.stores == 2
+
+    def test_none_cache_is_plain_parallel(self):
+        assert run_configs_cached(CONFIGS, None, max_workers=2) == \
+            run_configs_parallel(CONFIGS, max_workers=2)
+
+    def test_verified_hits_are_recomputed_not_leaked(self, tmp_path):
+        cache = ExperimentCache(cache_dir=tmp_path / "c", verify_every=1)
+        run_configs_cached(CONFIGS, cache, max_workers=1)
+        # poison one entry so verification must catch and replace it
+        stale = run_experiment(CONFIGS[0].with_(n_cs=2))
+        cache.put(CONFIGS[0], stale)
+        got = run_configs_cached(CONFIGS, cache, max_workers=1)
+        assert got == [run_experiment(c) for c in CONFIGS]
+        assert cache.stats.verified == len(CONFIGS)
+        assert cache.stats.verify_failures == 1
+        # the poisoned entry was replaced with the fresh result
+        assert cache.get(CONFIGS[0]) == got[0]
+
+    def test_empty_batch_is_rejected(self, cache):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            list(stream_configs_cached([], cache))
+
+
+class TestRunManyRouting:
+    def test_small_seed_batches_run_serially(self, cache, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        def boom(*a, **kw):  # pragma: no cover - must not be reached
+            raise AssertionError("small batch must not hit the pool")
+
+        monkeypatch.setattr(parallel_mod, "run_configs_cached", boom)
+        agg = run_many(CFG, seeds=(0, 1), cache=cache)
+        assert len(agg.runs) == 2
+
+    def test_large_seed_batches_route_through_pool(self, cache):
+        seeds = tuple(range(4))  # == PARALLEL_SEED_THRESHOLD
+        parallel_agg = run_many(CFG, seeds=seeds, cache=cache)
+        serial_agg = run_many(CFG, seeds=seeds, parallel=False)
+        assert parallel_agg.runs == serial_agg.runs
+        assert parallel_agg.obtaining == serial_agg.obtaining
+        assert cache.stats.stores == len(seeds)
+
+    def test_warm_cache_serves_run_many(self, cache):
+        seeds = tuple(range(4))
+        cold = run_many(CFG, seeds=seeds, cache=cache)
+        warm = run_many(CFG, seeds=seeds, cache=cache)
+        assert warm.runs == cold.runs
+        assert cache.stats.hits == len(seeds)
+
+    def test_threshold_is_four(self):
+        from repro.experiments.runner import PARALLEL_SEED_THRESHOLD
+
+        assert PARALLEL_SEED_THRESHOLD == 4
+
+
+# --------------------------------------------------------------------- #
+# concurrent shared-cache stress
+# --------------------------------------------------------------------- #
+def _stress_worker(spec: CacheSpec, seeds, rounds: int):
+    """Hammer one shared cache dir: racing put/get over the same keys."""
+    cache = spec.open()
+    sums = []
+    for _ in range(rounds):
+        for seed in seeds:
+            cfg = CFG.with_(seed=seed)
+            result = cache.get(cfg)
+            if result is None:
+                result = run_experiment(cfg)
+                cache.put(cfg, result)
+            sums.append(result.total_messages)
+    return sums, cache.stats.corrupt, cache.stats.verify_failures
+
+
+class TestConcurrentSharedCache:
+    def test_racing_processes_never_corrupt_the_store(self, tmp_path):
+        spec = CacheSpec(cache_dir=str(tmp_path / "shared"))
+        seeds = (0, 1, 2)
+        expected = [run_experiment(CFG.with_(seed=s)).total_messages
+                    for s in seeds]
+        try:
+            with ProcessPoolExecutor(max_workers=3) as pool:
+                futures = [pool.submit(_stress_worker, spec, seeds, 3)
+                           for _ in range(3)]
+                outcomes = [f.result(timeout=120) for f in futures]
+        except OSError:
+            pytest.skip("platform cannot spawn worker processes")
+
+        for sums, corrupt, verify_failures in outcomes:
+            assert sums == expected * 3
+            assert corrupt == 0
+            assert verify_failures == 0
+        # and the store is left fully readable
+        reader = spec.open()
+        for s, want in zip(seeds, expected):
+            got = reader.get(CFG.with_(seed=s))
+            assert got is not None and got.total_messages == want
+
+    def test_concurrent_sweeps_share_one_directory(self, tmp_path):
+        cache_a = ExperimentCache(cache_dir=tmp_path / "shared")
+        cache_b = ExperimentCache(cache_dir=tmp_path / "shared")
+        a = run_configs_cached(CONFIGS, cache_a, max_workers=2)
+        b = run_configs_cached(CONFIGS, cache_b, max_workers=2)
+        assert a == b
+        assert cache_b.stats.hits == len(CONFIGS)  # b reused a's entries

@@ -1,0 +1,233 @@
+"""Round-trip, corruption, eviction, verify-mode and env-activation
+tests for the content-addressed result store."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cache.store import (
+    DEFAULT_CACHE_DIR,
+    CacheSpec,
+    CacheStats,
+    ExperimentCache,
+    cache_from_env,
+    resolve_cache,
+)
+from repro.experiments import ExperimentConfig, run_experiment
+
+CFG = ExperimentConfig(n_clusters=2, apps_per_cluster=2, n_cs=3, rho=4.0,
+                       platform="two-tier")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ExperimentCache(cache_dir=tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_result_round_trips_exactly(self, cache):
+        result = run_experiment(CFG)
+        assert cache.get(CFG) is None
+        cache.put(CFG, result)
+        cached = cache.get(CFG)
+        assert cached == result
+        assert cached.obtaining == result.obtaining      # SummaryStats
+        assert cached.per_cluster == result.per_cluster
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_obs_report_round_trips(self, cache):
+        cfg = CFG.with_(obs="paths")
+        result = run_experiment(cfg)
+        assert result.obs_report is not None
+        cache.put(cfg, result)
+        cached = cache.get(cfg)
+        assert cached.obs_report == result.obs_report    # ObsReport
+        assert cached == result
+
+    def test_pickle_round_trip_of_result_types(self):
+        result = run_experiment(CFG.with_(obs="paths"))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        assert clone.obtaining == result.obtaining
+        assert clone.obs_report == result.obs_report
+
+    def test_distinct_configs_do_not_alias(self, cache):
+        a = run_experiment(CFG)
+        b = run_experiment(CFG.with_(seed=1))
+        cache.put(CFG, a)
+        cache.put(CFG.with_(seed=1), b)
+        assert cache.get(CFG) == a
+        assert cache.get(CFG.with_(seed=1)) == b
+
+
+class TestCorruption:
+    def test_truncated_blob_is_a_miss_not_an_exception(self, cache):
+        result = run_experiment(CFG)
+        cache.put(CFG, result)
+        path = cache.path_for(CFG)
+        path.write_bytes(path.read_bytes()[:10])  # truncate
+
+        assert cache.get(CFG) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # self-healed
+        # recompute-and-store works afterwards
+        cache.put(CFG, result)
+        assert cache.get(CFG) == result
+
+    def test_garbage_bytes_are_a_miss(self, cache):
+        cache.put(CFG, run_experiment(CFG))
+        cache.path_for(CFG).write_bytes(b"not a pickle")
+        assert cache.get(CFG) is None
+        assert cache.stats.corrupt == 1
+
+    def test_stored_key_mismatch_is_a_miss(self, cache):
+        """A hash collision (forged here) must never return a wrong result."""
+        result = run_experiment(CFG)
+        path = cache.path_for(CFG)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"key": "someone-else", "result": result}))
+        assert cache.get(CFG) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestEviction:
+    def test_oldest_entries_are_evicted_first(self, tmp_path):
+        import os
+
+        cache = ExperimentCache(cache_dir=tmp_path / "cache")
+        results = []
+        for seed in range(4):
+            cfg = CFG.with_(seed=seed)
+            cache.put(cfg, run_experiment(cfg))
+            results.append(cfg)
+        # age the first two entries so they are the LRU victims
+        for cfg in results[:2]:
+            os.utime(cache.path_for(cfg), (1.0, 1.0))
+
+        total = cache.total_bytes()
+        small = ExperimentCache(cache_dir=tmp_path / "cache",
+                                max_bytes=total - 1)
+        small.put(CFG.with_(seed=99), run_experiment(CFG.with_(seed=99)))
+
+        assert small.stats.evictions >= 1
+        assert small.total_bytes() <= small.max_bytes
+        assert small.get(results[0]) is None        # oldest gone
+        assert small.get(CFG.with_(seed=99)) is not None  # newest kept
+
+    def test_hits_refresh_recency(self, tmp_path):
+        import os
+
+        cache = ExperimentCache(cache_dir=tmp_path / "cache")
+        cache.put(CFG, run_experiment(CFG))
+        path = cache.path_for(CFG)
+        os.utime(path, (1.0, 1.0))
+        cache.get(CFG)
+        assert path.stat().st_mtime > 1.0
+
+
+class TestVerifyMode:
+    def test_verify_every_zero_never_samples(self, cache):
+        cache.put(CFG, run_experiment(CFG))
+        for _ in range(5):
+            assert not cache.should_verify()
+            cache.get(CFG)
+
+    def test_verify_every_one_samples_every_hit(self, tmp_path):
+        cache = ExperimentCache(cache_dir=tmp_path / "c", verify_every=1)
+        cache.put(CFG, run_experiment(CFG))
+        for _ in range(3):
+            assert cache.should_verify()
+            cache.get(CFG)
+
+    def test_verify_every_n_samples_deterministically(self, tmp_path):
+        cache = ExperimentCache(cache_dir=tmp_path / "c", verify_every=3)
+        cache.put(CFG, run_experiment(CFG))
+        sampled = []
+        for _ in range(6):
+            sampled.append(cache.should_verify())
+            cache.get(CFG)
+        assert sampled == [False, True, False, False, True, False]
+
+    def test_record_verification_counts_matches_and_mismatches(self, cache):
+        result = run_experiment(CFG)
+        other = run_experiment(CFG.with_(seed=1))
+        assert cache.record_verification(result, result)
+        assert not cache.record_verification(result, other)
+        assert cache.stats.verified == 2
+        assert cache.stats.verify_failures == 1
+
+    def test_negative_verify_every_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentCache(cache_dir=tmp_path, verify_every=-1)
+
+
+class TestStats:
+    def test_merge_and_snapshot(self):
+        a = CacheStats(hits=2, misses=1, stores=1)
+        b = CacheStats(hits=1, evictions=3, corrupt=1)
+        snap = a.snapshot()
+        a.merge(b)
+        assert (a.hits, a.misses, a.evictions, a.corrupt) == (3, 1, 3, 1)
+        assert snap.hits == 2  # snapshot is independent
+        assert a.lookups == 4
+
+    def test_format_is_the_cli_line(self):
+        s = CacheStats(hits=3, misses=1, stores=1)
+        assert s.format() == "cache: 3 hit(s), 1 miss(es), 1 store(s), 0 evicted"
+        s.verified, s.verify_failures = 2, 1
+        assert "2 verified (1 failed)" in s.format()
+
+
+class TestSpecAndEnv:
+    def test_spec_round_trips_through_pickle(self, tmp_path):
+        cache = ExperimentCache(cache_dir=tmp_path / "c", max_bytes=1024,
+                                verify_every=5)
+        spec = pickle.loads(pickle.dumps(cache.spec))
+        reopened = spec.open()
+        assert reopened.root == cache.root
+        assert reopened.max_bytes == 1024
+        assert reopened.verify_every == 5
+
+    def test_cache_off_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert cache_from_env() is None
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert cache_from_env() is None
+
+    def test_env_activation_and_refinement(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        monkeypatch.setenv("REPRO_CACHE_VERIFY", "7")
+        cache = cache_from_env()
+        assert cache is not None
+        assert cache.root == tmp_path / "envcache"
+        assert cache.verify_every == 7
+
+    def test_default_dir_is_repro_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert str(ExperimentCache().root) == DEFAULT_CACHE_DIR
+
+    def test_resolve_cache_convention(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache("auto") is None  # env says off
+        cache = ExperimentCache(cache_dir=tmp_path / "c")
+        assert resolve_cache(cache) is cache
+        opened = resolve_cache(CacheSpec(cache_dir=str(tmp_path / "c")))
+        assert isinstance(opened, ExperimentCache)
+        with pytest.raises(TypeError):
+            resolve_cache("yes please")
+
+    def test_run_experiment_without_cache_always_executes(self, cache):
+        """Tier-1 safety paths never consult the cache implicitly."""
+        result = run_experiment(CFG, cache=cache)
+        assert cache.stats.lookups == 1
+        run_experiment(CFG)  # no cache argument -> no cache traffic
+        assert cache.stats.lookups == 1
+        assert cache.get(CFG) == result
