@@ -37,7 +37,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cache import ExperimentCache
 from repro.core import Composition, CompositionRecovery, RecoveryConfig
 from repro.experiments import ExperimentConfig
-from repro.experiments.runner import build_platform, build_system
+from repro.experiments.runner import _app_cs_filter, build_platform, build_system
 from repro.net import CrashController, Network, TwoTierLatency, uniform_topology
 from repro.sim import Simulator
 from repro.verify.safety import MutualExclusionChecker
@@ -52,19 +52,19 @@ def _timed_run(sim: Simulator, until: float) -> float:
     return time.perf_counter() - t0
 
 
-def _instrumented_experiment(config: ExperimentConfig) -> Dict[str, float]:
-    """One ``run_experiment``-shaped run that exposes kernel counters."""
+def _build_experiment(config: ExperimentConfig):
+    """Construct a ``run_experiment``-shaped simulation, ready to run."""
     config.validate()
     sim = Simulator(seed=config.seed)
     topology, latency = build_platform(config)
-    net = Network(sim, topology, latency, fifo=config.fifo)
+    if config.backend == "compiled":
+        from repro.compile import CompiledNetwork
+
+        net = CompiledNetwork(sim, topology, latency, fifo=config.fifo)
+    else:
+        net = Network(sim, topology, latency, fifo=config.fifo)
     system = build_system(sim, net, topology, config)
-    app_set = frozenset(system.app_nodes)
-    MutualExclusionChecker(
-        sim.trace,
-        include=lambda rec: rec.node in app_set
-        and (rec.port.startswith("intra") or rec.port == "flat"),
-    )
+    MutualExclusionChecker(sim.trace, include=_app_cs_filter(system.app_nodes))
 
     remaining = {"count": len(system.app_nodes)}
 
@@ -81,6 +81,16 @@ def _instrumented_experiment(config: ExperimentConfig) -> Dict[str, float]:
         distribution=config.distribution,
         on_done=app_done,
     )
+    if config.backend == "compiled":
+        from repro.compile import compile_system
+
+        compile_system(net, system, apps)
+    return sim, net, apps, collector
+
+
+def _instrumented_experiment(config: ExperimentConfig) -> Dict[str, float]:
+    """One ``run_experiment``-shaped run that exposes kernel counters."""
+    sim, net, apps, collector = _build_experiment(config)
     wall = _timed_run(sim, config.default_deadline())
     assert all(a.done for a in apps), "benchmark run did not complete"
     return {
@@ -90,6 +100,23 @@ def _instrumented_experiment(config: ExperimentConfig) -> Dict[str, float]:
         "cs": collector.cs_count,
         "sim_ms": sim.now,
     }
+
+
+def _digest_of(config: ExperimentConfig) -> str:
+    """Digest of the scenario's observable event stream.
+
+    Runs an *untimed* replica: a :class:`RunDigest` subscribes to the
+    ``send`` kind, which would tax the timed loop of the measured run
+    (and, on the compiled backend, tax it differently than the
+    interpreted one — the very comparison the digest is meant to
+    anchor)."""
+    from repro.verify import RunDigest
+
+    sim, _net, apps, _collector = _build_experiment(config)
+    digest = RunDigest(sim)
+    sim.run(until=config.default_deadline())
+    assert all(a.done for a in apps), "digest run did not complete"
+    return digest.hexdigest
 
 
 # --------------------------------------------------------------------- #
@@ -126,11 +153,10 @@ def kernel_spin(quick: bool) -> Dict[str, float]:
     }
 
 
-def fig4_composition(quick: bool) -> Dict[str, float]:
-    """The acceptance microbench: Naimi/Naimi composition, Fig. 4 set-up."""
+def _fig4_config(quick: bool, backend: str = "interpreted") -> ExperimentConfig:
     apps = 6 if quick else 20
     n_cs = 15 if quick else 100
-    config = ExperimentConfig(
+    return ExperimentConfig(
         system="composition",
         intra="naimi",
         inter="naimi",
@@ -140,8 +166,37 @@ def fig4_composition(quick: bool) -> Dict[str, float]:
         n_cs=n_cs,
         rho=float(9 * apps),
         seed=1,
+        backend=backend,
     )
-    return _instrumented_experiment(config)
+
+
+def fig4_composition(quick: bool) -> Dict[str, float]:
+    """The acceptance microbench: Naimi/Naimi composition, Fig. 4 set-up."""
+    return _instrumented_experiment(_fig4_config(quick))
+
+
+def _fig4_backend(quick: bool, backend: str) -> Dict[str, float]:
+    """One backend leg of the tracked pair: the measured run plus the
+    event-stream digest CI asserts equal across the two legs."""
+    config = _fig4_config(quick, backend)
+    result = _instrumented_experiment(config)
+    result["digest"] = _digest_of(config)
+    return result
+
+
+def fig4_composition_interpreted(quick: bool) -> Dict[str, float]:
+    """Backend-equivalence pair, interpreted leg (same workload as
+    ``fig4_composition``; carries a digest for the CI equality gate)."""
+    return _fig4_backend(quick, "interpreted")
+
+
+def fig4_composition_compiled(quick: bool) -> Dict[str, float]:
+    """Backend-equivalence pair, compiled leg: table-driven dispatch.
+
+    The acceptance speedup (compiled ≥ 3x the seed kernel, toward the
+    ROADMAP 10x) is read off this scenario's normalized events/s against
+    the committed baseline's ``fig4_composition``."""
+    return _fig4_backend(quick, "compiled")
 
 
 def flat_suzuki(quick: bool) -> Dict[str, float]:
@@ -288,6 +343,8 @@ def fig4_sweep_warm_cache(quick: bool) -> Dict[str, float]:
 SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "kernel_spin": kernel_spin,
     "fig4_composition": fig4_composition,
+    "fig4_composition_interpreted": fig4_composition_interpreted,
+    "fig4_composition_compiled": fig4_composition_compiled,
     "flat_suzuki": flat_suzuki,
     "crash_recovery": crash_recovery,
     "fig4_sweep_no_cache": fig4_sweep_no_cache,

@@ -79,6 +79,21 @@ def main(argv=None) -> int:
         print(f"{name:<{width}}  {r['events']:>9,}  {r['events_per_s']:>11,.0f}  "
               f"{r['messages_per_s']:>11,.0f}  {r['wall_s']:>8.3f}")
 
+    # Backend-equivalence gate: the tracked fig4 pair carries the
+    # event-stream digest of each backend leg; any divergence means the
+    # compiled backend is no longer bit-identical and the speedup number
+    # is meaningless — fail before writing/checking anything else.
+    interp = results.get("fig4_composition_interpreted")
+    comp = results.get("fig4_composition_compiled")
+    if interp and comp:
+        if interp["digest"] != comp["digest"]:
+            print("backend digest gate: FAIL — compiled diverged from "
+                  "interpreted")
+            print(f"  interpreted: {interp['digest']}")
+            print(f"  compiled   : {comp['digest']}")
+            return 1
+        print(f"backend digest gate: ok ({str(interp['digest'])[:16]}...)")
+
     written = None
     if not args.no_write:
         written = write_report(results, mode, ROOT, score=score, out=args.out)

@@ -8,7 +8,7 @@ modification**", §3.1) are behavioural properties.  This package enforces
 them *statically*, before a single event fires:
 
 * :mod:`repro.analysis.rules` / :mod:`repro.analysis.engine` — an
-  AST-based linter with repro-specific rules (RPR001-RPR006): no
+  AST-based linter with repro-specific rules (RPR001-RPR008): no
   wall-clock reads, no stdlib ``random``, no unordered ``set``/``dict``
   iteration inside message handlers, no kernel re-entry from handlers, no
   coordinator imports from ``repro.mutex``, no mutable default arguments.

@@ -18,6 +18,10 @@ RPR006    no mutable default arguments
 RPR007    figure/suite sweeps must go through the cache-aware entry
           points — no direct ``run_experiment``/``run_many`` calls in
           ``repro.experiments.figures`` / ``repro.experiments.suites``
+RPR008    no hand-written per-kind dispatch inside ``repro.compile`` —
+          handler resolution must come from the generated tables
+          (``dispatch_table``/``fast_table``), not string-built
+          ``getattr``, ``kind ==`` ladders or literal kind→handler maps
 ========  ==========================================================
 
 Rules yield ``(line, col, message)`` triples; the engine attaches paths,
@@ -41,6 +45,7 @@ __all__ = [
     "CompositionPurityRule",
     "MutableDefaultRule",
     "CacheBypassRule",
+    "HandDispatchRule",
 ]
 
 Finding = Tuple[int, int, str]
@@ -582,6 +587,116 @@ class CacheBypassRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------- #
+# RPR008 — hand-written dispatch in the compiled backend
+# --------------------------------------------------------------------- #
+class HandDispatchRule(Rule):
+    id = "RPR008"
+    summary = (
+        "no hand-written per-kind dispatch in repro.compile — handler "
+        "resolution must come from the generated tables (dispatch_table/"
+        "fast_table), so that table conformance checks see every route; a "
+        "string-built getattr, a kind== ladder or a literal kind→handler "
+        "map silently bypasses them"
+    )
+
+    #: the one module allowed to resolve handlers by name: it *builds*
+    #: the tables everything else must go through
+    _GENERATOR = "repro.compile.tables"
+    _HANDLER_PREFIXES = ("_on_", "_fast_on_")
+
+    def applies(self, mod: ModuleInfo) -> bool:
+        return (
+            mod.module.startswith("repro.compile")
+            and mod.module != self._GENERATOR
+        )
+
+    # -- helpers ------------------------------------------------------- #
+    def _is_handler_name_expr(self, node: ast.AST) -> bool:
+        """Whether an expression builds a handler attribute name: a
+        constant ``"_on_x"``, an f-string or ``+``-concat mentioning the
+        handler prefix."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value.startswith(self._HANDLER_PREFIXES)
+        if isinstance(node, ast.JoinedStr):
+            return any(
+                isinstance(part, ast.Constant)
+                and isinstance(part.value, str)
+                and "_on_" in part.value
+                for part in node.values
+            )
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            return self._is_handler_name_expr(node.left) or (
+                self._is_handler_name_expr(node.right)
+            )
+        return False
+
+    @staticmethod
+    def _is_kind_name(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Name) and node.id == "kind"
+        ) or (
+            isinstance(node, ast.Attribute) and node.attr == "kind"
+        )
+
+    def _is_handler_ref(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr.startswith(
+            self._HANDLER_PREFIXES
+        )
+
+    # -- check --------------------------------------------------------- #
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            # 1. string-built handler resolution: getattr(x, f"_on_{kind}")
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and self._is_handler_name_expr(node.args[1])
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "string-built handler lookup via getattr() — resolve "
+                    "handlers through the generated dispatch_table()/"
+                    "fast_table() instead",
+                )
+            # 2. per-kind branching: if kind == "request": ...
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                operands = [node.left, *node.comparators]
+                if any(self._is_kind_name(o) for o in operands) and any(
+                    isinstance(o, ast.Constant) and isinstance(o.value, str)
+                    for o in operands
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "per-kind string comparison — dispatch through the "
+                        "generated tables instead of a kind== ladder",
+                    )
+            # 3. hand-rolled kind→handler map: {"request": self._on_request}
+            elif isinstance(node, ast.Dict):
+                handler_entries = [
+                    (k, v)
+                    for k, v in zip(node.keys, node.values)
+                    if k is not None
+                    and isinstance(k, ast.Constant)
+                    and isinstance(k.value, str)
+                    and self._is_handler_ref(v)
+                ]
+                if handler_entries:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "literal kind→handler map — build dispatch maps "
+                        "with dispatch_table()/fast_table() so conformance "
+                        "checks cover them",
+                    )
+
+
 DEFAULT_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -590,4 +705,5 @@ DEFAULT_RULES = (
     CompositionPurityRule,
     MutableDefaultRule,
     CacheBypassRule,
+    HandDispatchRule,
 )

@@ -3,8 +3,10 @@
 A cache entry is addressed by two independent components:
 
 * the **configuration key** — a canonical JSON rendering of every
-  :class:`~repro.experiments.config.ExperimentConfig` field (the seed is
-  a field, so it participates).  Canonical means: object keys sorted,
+  behaviour-determining :class:`~repro.experiments.config.ExperimentConfig`
+  field (the seed is a field, so it participates; fields tagged
+  ``metadata={"cache_key": False}``, such as the equivalence-gated
+  ``backend``, are excluded).  Canonical means: object keys sorted,
   no whitespace, tuples rendered as JSON arrays, floats rendered by
   ``repr`` (the shortest round-trip form, stable across CPython 3.x).
   ``tests/cache/test_keys.py`` pins the exact rendering so it cannot
@@ -84,9 +86,19 @@ def canonical_json(config: Any) -> str:
     Field order never matters (keys are sorted), nested tuples become
     JSON arrays, and float rendering is the ``repr`` shortest round-trip
     form — so the same configuration always produces the same bytes.
+
+    Dataclass fields declaring ``metadata={"cache_key": False}`` are
+    skipped: they mark knobs that provably cannot change a run's results
+    (e.g. ``ExperimentConfig.backend``, whose equivalence the golden
+    RunDigest matrix certifies), so including them would split the key
+    space without ever changing a cached value.
     """
     if is_dataclass(config) and not isinstance(config, type):
-        payload = {f.name: getattr(config, f.name) for f in fields(config)}
+        payload = {
+            f.name: getattr(config, f.name)
+            for f in fields(config)
+            if f.metadata.get("cache_key", True)
+        }
         return _canonical(payload)
     return _canonical(config)
 

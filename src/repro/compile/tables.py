@@ -1,0 +1,152 @@
+"""Per-kind dispatch tables, resolved once at system build time.
+
+The interpreted delivery path resolves every message's handler
+dynamically: ``Network._deliver`` looks the ``(node, port)`` handler up,
+``MutexPeer._on_message`` then does ``getattr(self, f"_on_{kind}")`` per
+event.  The compiled backend replaces that per-event chain with tables
+built **once** per peer class:
+
+* :func:`dispatch_table` — ``{kind: unbound _on_<kind> method}``,
+  mirroring the ``getattr`` protocol exactly (every ``_on_*`` method
+  except the dispatcher itself participates, so a class's table accepts
+  precisely the kinds its interpreted dispatch would);
+* :func:`fast_table` — ``{kind: unbound _fast_on_<kind> method}`` for
+  classes that additionally provide single-frame handlers taking
+  ``(src, payload)`` instead of a :class:`~repro.net.message.Message`.
+
+The static per-kind handler-effect graphs of :mod:`repro.analysis.effects`
+are the compiler's declared envelopes: :func:`check_table_conformance`
+re-derives each algorithm's handled-kind set from its AST and fails if a
+generated table ever drifts from it (a handler added to the protocol but
+missed by a compiled subclass, or vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "dispatch_table",
+    "fast_table",
+    "check_table_conformance",
+]
+
+#: methods that look like handlers but are dispatch plumbing, not kinds
+_NOT_KINDS = ("message",)
+
+_DISPATCH_CACHE: Dict[type, Dict[str, Callable]] = {}
+_FAST_CACHE: Dict[type, Optional[Dict[str, Callable]]] = {}
+
+
+def dispatch_table(cls: type) -> Dict[str, Callable]:
+    """``{kind: unbound method}`` table of ``cls``'s message handlers.
+
+    Built from every ``_on_<kind>`` attribute reachable on the class
+    (inherited ones included), exactly what
+    ``getattr(self, f"_on_{kind}")`` would resolve — so table dispatch
+    and interpreted dispatch accept the same kinds and call the same
+    code.  Cached per class; classes are immutable after system build.
+    """
+    table = _DISPATCH_CACHE.get(cls)
+    if table is None:
+        table = {
+            name[len("_on_"):]: getattr(cls, name)
+            for name in dir(cls)
+            if name.startswith("_on_")
+            and name[len("_on_"):] not in _NOT_KINDS
+            and callable(getattr(cls, name))
+        }
+        _DISPATCH_CACHE[cls] = table
+    return table
+
+
+def fast_table(cls: type) -> Optional[Dict[str, Callable]]:
+    """``{kind: unbound _fast_on_<kind> method}``, or ``None``.
+
+    ``None`` when ``cls`` does not provide a fast handler for **every**
+    kind in its :func:`dispatch_table` — a partial fast table would make
+    some kinds skip the :class:`~repro.net.message.Message` allocation
+    and others not, which is exactly the sort of asymmetry the
+    equivalence gate exists to forbid.
+    """
+    if cls in _FAST_CACHE:
+        return _FAST_CACHE[cls]
+    kinds = dispatch_table(cls)
+    table: Dict[str, Callable] = {}
+    for kind in kinds:
+        fast = getattr(cls, f"_fast_on_{kind}", None)
+        if fast is None or not callable(fast):
+            _FAST_CACHE[cls] = None
+            return None
+    for kind in kinds:
+        table[kind] = getattr(cls, f"_fast_on_{kind}")
+    _FAST_CACHE[cls] = table
+    return table
+
+
+def check_table_conformance(
+    pairs: Optional[List[Tuple[str, Type, Type]]] = None,
+) -> List[str]:
+    """Check generated tables against the declared protocol envelopes.
+
+    For every ``(algorithm_name, base_class, compiled_class)`` pair the
+    compiled backend registers, re-derive the algorithm's handled kinds
+    from its source AST (:func:`repro.analysis.effects
+    .extract_algorithm_effects` — the same effect graphs PR 3 exports)
+    and compare against both the base and the compiled dispatch tables.
+    Returns a list of human-readable findings; empty means conformant.
+    """
+    from pathlib import Path
+
+    from ..analysis.effects import (
+        extract_algorithm_effects,
+        find_algorithm_classes,
+    )
+
+    if pairs is None:
+        from .peers import compiled_peer_registry
+
+        pairs = compiled_peer_registry()
+
+    import repro.mutex
+
+    mutex_dir = Path(repro.mutex.__file__).resolve().parent
+    sources = sorted(mutex_dir.glob("*.py"))
+    declared = {
+        name: extract_algorithm_effects(path, cls_node)
+        for name, (path, cls_node) in find_algorithm_classes(sources).items()
+    }
+    findings: List[str] = []
+    for name, base, compiled in pairs:
+        effects = declared.get(name)
+        if effects is None:
+            findings.append(
+                f"{name}: no declared effect envelope found under "
+                f"{mutex_dir}"
+            )
+            continue
+        envelope = set(effects.handled_kinds)
+        for label, cls in (("base", base), ("compiled", compiled)):
+            kinds = set(dispatch_table(cls))
+            if kinds != envelope:
+                extra = ", ".join(sorted(kinds - envelope)) or "-"
+                missing = ", ".join(sorted(envelope - kinds)) or "-"
+                findings.append(
+                    f"{name}/{label} ({cls.__name__}): dispatch table "
+                    f"diverges from the declared envelope "
+                    f"(extra: {extra}; missing: {missing})"
+                )
+        fast = fast_table(compiled)
+        if fast is None:
+            findings.append(
+                f"{name}/compiled ({compiled.__name__}): incomplete "
+                f"fast-handler table (needs _fast_on_<kind> for every "
+                f"kind in {sorted(envelope)})"
+            )
+        elif set(fast) != envelope:
+            findings.append(
+                f"{name}/compiled ({compiled.__name__}): fast table "
+                f"kinds {sorted(fast)} diverge from declared envelope "
+                f"{sorted(envelope)}"
+            )
+    return findings

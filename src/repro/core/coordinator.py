@@ -80,14 +80,17 @@ class Coordinator(Process):
             )
         self.lower = lower
         self.upper = upper
+        self._trace = sim.trace  # hot: read on every state transition
         self._state = CoordinatorState.STARTING
         #: Optional reconfiguration gate (see adaptive composition): a
         #: callable consulted before issuing an upper-level request.
         #: Returning True defers the request — the gate owner must later
         #: call :meth:`resume_upper_request`.
         self.upper_request_gate = None
-        #: state-transition counters, exposed for tests and metrics
-        self.transitions = {s: 0 for s in CoordinatorState}
+        # State-transition counters, list-indexed by CoordinatorState.index
+        # (dict-of-enum pays two Python-level Enum.__hash__ calls per
+        # increment); read through the `transitions` property.
+        self._transitions = [0] * len(CoordinatorState)
         if lower.initial_holder != lower.node:
             raise CompositionError(
                 f"{self.name}: the coordinator must be the lower "
@@ -122,14 +125,23 @@ class Coordinator(Process):
         return self._state
 
     @property
+    def transitions(self) -> dict:
+        """State-transition counters, exposed for tests and metrics."""
+        counts = self._transitions
+        return {s: counts[s.index] for s in CoordinatorState}
+
+    @property
     def node(self) -> int:
         return self.lower.node
 
     def _enter(self, state: CoordinatorState) -> None:
         self._state = state
-        self.transitions[state] += 1
-        if self.sim.trace.active:
-            self.sim.trace.emit(
+        self._transitions[state.index] += 1
+        # Per-kind gate: `active` is coarse (any subscriber at all, e.g.
+        # the safety checker), which had every benchmarked run paying for
+        # ~2 state-change records per CS that nobody consumed.
+        if "coordinator_state" in self._trace.active_kinds:
+            self._trace.emit(
                 "coordinator_state",
                 time=self.now,
                 node=self.node,

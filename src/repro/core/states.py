@@ -37,6 +37,11 @@ class CoordinatorState(enum.Enum):
     request outranks every application request.
     """
 
+    #: Dense counter slot used by the coordinator's transition counters
+    #: (``Enum.__hash__`` is a Python-level call; a list index is not).
+    #: Assigned right after the class body.
+    index: int
+
     #: Initial acquisition of the intra CS is in flight.
     STARTING = "STARTING"
     #: Holds the intra token, no local demand: the cluster is out of the CS.
@@ -61,3 +66,7 @@ class CoordinatorState(enum.Enum):
     def holds_intra_token(self) -> bool:
         """Whether a coordinator in this state is inside its intra CS."""
         return self in (CoordinatorState.OUT, CoordinatorState.WAIT_FOR_IN)
+
+
+for _i, _member in enumerate(CoordinatorState):
+    _member.index = _i

@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("grid5000", "two-tier", "random-wan"))
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--jitter", type=float, default=0.0)
+    run_p.add_argument("--backend", default="interpreted",
+                       choices=("interpreted", "compiled"),
+                       help="execution backend: 'compiled' lowers the "
+                            "protocol onto table-driven dispatch "
+                            "(bit-identical results, faster)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the result as JSON instead of text")
     _add_cache_flags(run_p)
@@ -150,7 +155,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _require_algorithms(*names: str) -> None:
+    """Exit with the registered-algorithm list when a name is unknown.
+
+    Without this, an unregistered name only surfaces as a registry
+    ``KeyError`` from deep inside the runner."""
+    known = available_algorithms()
+    for name in names:
+        if name not in known:
+            raise SystemExit(
+                f"unknown algorithm {name!r}; registered algorithms: "
+                + ", ".join(sorted(known))
+            )
+
+
 def _cmd_run(args) -> int:
+    # Flat systems only use --intra; every other system composes both.
+    if args.system == "flat":
+        _require_algorithms(args.intra)
+    else:
+        _require_algorithms(args.intra, args.inter)
     n_apps = args.clusters * args.apps
     config = ExperimentConfig(
         system=args.system,
@@ -164,7 +188,11 @@ def _cmd_run(args) -> int:
         platform=args.platform,
         seed=args.seed,
         jitter=args.jitter,
-        algorithms=("naimi", "naimi") if args.system == "multilevel" else (),
+        backend=args.backend,
+        # The multilevel hierarchy is built from the --intra/--inter
+        # flags like every other system (this used to hard-code
+        # ("naimi", "naimi"), silently ignoring both flags).
+        algorithms=(args.intra, args.inter) if args.system == "multilevel" else (),
         hierarchy=tuple(range(args.clusters)) if args.system == "multilevel" else None,
     )
     cache = _cache_from_args(args)

@@ -153,6 +153,26 @@ def _to_lists(spec):
     return [_to_lists(s) for s in spec]
 
 
+def _app_cs_filter(app_nodes) -> Callable:
+    """Safety-checker predicate: application CS events only.
+
+    Coordinators enter their intra/inter CSes as part of the bridging
+    automaton; the paper's mutual exclusion invariant is over the
+    *application* processes.  Reads the record's field dict directly —
+    this runs on every CS entry/exit of every checked run.
+    """
+    app_set = frozenset(app_nodes)
+
+    def include(rec) -> bool:
+        fields = rec.fields
+        if fields["node"] not in app_set:
+            return False
+        port = fields["port"]
+        return port.startswith("intra") or port == "flat"
+
+    return include
+
+
 # --------------------------------------------------------------------- #
 # execution
 # --------------------------------------------------------------------- #
@@ -203,7 +223,12 @@ def _execute_experiment(
     topology, latency = build_platform(config)
     if config.batch_jitter:
         latency.enable_batched_jitter()
-    net = Network(sim, topology, latency, fifo=config.fifo)
+    if config.backend == "compiled":
+        from ..compile import CompiledNetwork
+
+        net: Network = CompiledNetwork(sim, topology, latency, fifo=config.fifo)
+    else:
+        net = Network(sim, topology, latency, fifo=config.fifo)
     system = build_system(sim, net, topology, config)
 
     # Attach after build_system (every handler registered, so the
@@ -222,11 +247,8 @@ def _execute_experiment(
 
     safety: Optional[MutualExclusionChecker] = None
     if config.check_safety:
-        app_set = frozenset(system.app_nodes)
         safety = MutualExclusionChecker(
-            sim.trace,
-            include=lambda rec: rec.node in app_set
-            and (rec.port.startswith("intra") or rec.port == "flat"),
+            sim.trace, include=_app_cs_filter(system.app_nodes)
         )
 
     remaining = {"count": len(system.app_nodes)}
@@ -244,6 +266,14 @@ def _execute_experiment(
         distribution=config.distribution,
         on_done=app_done,
     )
+    if config.backend == "compiled":
+        # Promote live instances onto the table-driven fast path once
+        # everything (system, observers, workload) is attached.  A no-op
+        # on runs the fast path cannot serve (crash/fault/FIFO): those
+        # execute the interpreted code, equivalent by construction.
+        from ..compile import compile_system
+
+        compile_system(net, system, apps)
     deadline = (
         config.deadline_ms
         if config.deadline_ms is not None

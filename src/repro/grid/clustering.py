@@ -92,16 +92,25 @@ def zone_spread(
     zones.
     """
     matrix = np.asarray(rtt_ms, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise TopologyError(f"RTT matrix must be square, got {matrix.shape}")
+    n = matrix.shape[0]
     intra, inter = [], []
     zone_of = {}
     for zi, members in enumerate(zones):
         for site in members:
+            # Validate membership against the matrix, not just the count:
+            # an out-of-range index would otherwise satisfy the coverage
+            # check below and surface as a raw KeyError in the pair loop.
+            if not 0 <= site < n:
+                raise TopologyError(
+                    f"zone {zi} contains site {site}, outside 0..{n - 1}"
+                )
             if site in zone_of:
                 raise TopologyError(f"site {site} in two zones")
             zone_of[site] = zi
-    if len(zone_of) != matrix.shape[0]:
+    if len(zone_of) != n:
         raise TopologyError("zones do not cover every site")
-    n = matrix.shape[0]
     for i in range(n):
         for j in range(n):
             if i == j:

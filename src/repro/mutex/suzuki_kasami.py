@@ -43,6 +43,12 @@ class SuzukiKasamiPeer(MutexPeer):
 
     algorithm_name = "suzuki"
     topology = "complete-graph"
+    #: Hot-state layout consumed by :mod:`repro.compile.state`: the
+    #: RN/LN maps lower to per-peer ``int64`` arrays in ``peers`` order.
+    compiled_state = {
+        "scalars": ("_holds_token",),
+        "peer_arrays": ("rn", "ln"),
+    }
 
     def __init__(self, *args: Any, retry_ms: Optional[float] = None, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)

@@ -228,7 +228,7 @@ class Simulator:
             self._now = event.time
             event.cancelled = True  # a fired event can no longer be cancelled
             self._fired += 1
-            if "event" in self.trace.active_kinds:
+            if self.trace.event_active:
                 self.trace.emit("event", time=event.time, label=event.label)
             event.callback(*event.args)
             return True
@@ -265,42 +265,58 @@ class Simulator:
             if until is None and max_events is None:
                 # Fast path: no bound checks per iteration.  `heap` stays
                 # a valid alias because compaction mutates it in place.
-                while heap and not self._stopped:
-                    event = pop(heap)[2]
-                    if event.cancelled:
-                        self._cancelled -= 1
-                        continue
-                    self._now = event.time
-                    event.cancelled = True
-                    self._fired += 1
-                    if "event" in trace.active_kinds:
-                        trace.emit("event", time=event.time, label=event.label)
-                    event.callback(*event.args)
+                # The fired counter accumulates in a local (an attribute
+                # store per event otherwise) and lands in `_fired` on
+                # every exit; nothing reads it mid-run — callbacks only
+                # see `events_fired` after run() returns.
+                fired = self._fired
+                try:
+                    while heap and not self._stopped:
+                        event = pop(heap)[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = event.time
+                        event.cancelled = True
+                        fired += 1
+                        if trace.event_active:
+                            trace.emit(
+                                "event", time=event.time, label=event.label
+                            )
+                        event.callback(*event.args)
+                finally:
+                    self._fired = fired
                 return self._now
 
             if max_events is None:
-                # `until`-only: the run_experiment path.  Compare the
-                # heap key directly — no peek call, no budget checks.
+                # `until`-only: the run_experiment path.  Pop first and
+                # push the head back on the (rare) deadline overshoot —
+                # cheaper than peeking then popping on every iteration.
                 exhausted = False
-                while not self._stopped:
-                    if not heap:
-                        exhausted = True
-                        break
-                    t, _, event = heap[0]
-                    if event.cancelled:
-                        pop(heap)
-                        self._cancelled -= 1
-                        continue
-                    if t > until:
-                        exhausted = True
-                        break
-                    pop(heap)
-                    self._now = t
-                    event.cancelled = True
-                    self._fired += 1
-                    if "event" in trace.active_kinds:
-                        trace.emit("event", time=t, label=event.label)
-                    event.callback(*event.args)
+                fired = self._fired
+                try:
+                    while not self._stopped:
+                        if not heap:
+                            exhausted = True
+                            break
+                        entry = pop(heap)
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        t = entry[0]
+                        if t > until:
+                            heapq.heappush(heap, entry)
+                            exhausted = True
+                            break
+                        self._now = t
+                        event.cancelled = True
+                        fired += 1
+                        if trace.event_active:
+                            trace.emit("event", time=t, label=event.label)
+                        event.callback(*event.args)
+                finally:
+                    self._fired = fired
                 if exhausted and self._now < until:
                     self._now = until
                 return self._now
@@ -322,7 +338,7 @@ class Simulator:
                 event.cancelled = True
                 self._fired += 1
                 fired += 1
-                if "event" in trace.active_kinds:
+                if trace.event_active:
                     trace.emit("event", time=event.time, label=event.label)
                 event.callback(*event.args)
             if exhausted and until is not None and self._now < until:

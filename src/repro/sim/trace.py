@@ -79,11 +79,23 @@ class Tracer:
         self.active = False
         #: Kinds with >= 1 subscriber; supports ``kind in active_kinds``.
         self.active_kinds: Any = frozenset()
+        #: ``"event" in active_kinds`` as a plain attribute: the kernel
+        #: loop checks this once per fired event, so it skips the set
+        #: membership call.
+        self.event_active = False
+        #: snapshot of the ``"*"`` subscriber list, hoisted out of emit
+        self._star: tuple = ()
+        #: bumped on every subscription change; hot emitters snapshot
+        #: their per-kind gates and revalidate with one integer compare
+        self.version = 0
 
     def _refresh(self) -> None:
         kinds = {k for k, subs in self._subs.items() if subs}
         self.active = bool(kinds)
         self.active_kinds = _ALL_KINDS if "*" in kinds else frozenset(kinds)
+        self.event_active = "event" in self.active_kinds
+        self._star = tuple(self._subs.get("*", ()))
+        self.version += 1
 
     def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Register ``fn`` to receive every record of ``kind`` (or all
@@ -108,12 +120,15 @@ class Tracer:
         kind stays authoritative under ``record.kind``; a field of the
         same name is reachable via ``record.fields["kind"]``).
         """
-        if kind not in self.active_kinds:
+        subs = self._subs.get(kind)
+        star = self._star
+        if not subs and not star:
             return
         record = TraceRecord(kind, fields)
-        for fn in self._subs.get(kind, ()):
-            fn(record)
-        for fn in self._subs.get("*", ()):
+        if subs:
+            for fn in subs:
+                fn(record)
+        for fn in star:
             fn(record)
 
     def record_into(self, kind: str, sink: List[TraceRecord]) -> None:

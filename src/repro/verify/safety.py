@@ -34,7 +34,11 @@ class MutualExclusionChecker:
     include:
         Optional predicate on the trace record selecting which events are
         subject to the mutual exclusion invariant — e.g. restrict to one
-        algorithm instance's port, or exclude coordinator nodes.
+        algorithm instance's port, or exclude coordinator nodes.  The
+        predicate must be a pure function of the record's ``(node,
+        port)`` pair: the checker caches its verdict per pair, so a
+        predicate that also looked at e.g. ``time`` would only be
+        consulted on each pair's first record.
     """
 
     def __init__(
@@ -45,6 +49,8 @@ class MutualExclusionChecker:
         include: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> None:
         self._include = include
+        #: memoized include verdicts, keyed by (node, port)
+        self._included: dict = {}
         self.inside: Set[Key] = set()
         self.total_entries = 0
         self.max_concurrency = 0
@@ -56,31 +62,53 @@ class MutualExclusionChecker:
     def for_port(tracer: Tracer, port: str) -> "MutualExclusionChecker":
         """Checker scoped to one algorithm instance (all peers on ``port``)."""
         return MutualExclusionChecker(
-            tracer, include=lambda rec: rec.port == port
+            tracer, include=lambda rec: rec.fields["port"] == port
         )
 
     # ------------------------------------------------------------------ #
     def _key(self, rec: TraceRecord) -> Key:
-        return (rec.node, rec.port)
+        return (rec.fields["node"], rec.fields["port"])
 
     def _on_enter(self, rec: TraceRecord) -> None:
-        if self._include is not None and not self._include(rec):
+        # Hot path: this fires on every CS entry of every benchmarked
+        # run, so the key is read straight out of the record's field
+        # dict (``rec.node`` costs a ``__getattr__`` round trip each)
+        # and the include verdict comes from the per-(node, port) cache.
+        fields = rec.fields
+        key = (fields["node"], fields["port"])
+        inc = self._included.get(key)
+        if inc is None:
+            include = self._include
+            inc = self._included[key] = (
+                include is None or bool(include(rec))
+            )
+        if not inc:
             return
-        key = self._key(rec)
-        if self.inside:
-            others = ", ".join(f"{n}@{p}" for n, p in sorted(self.inside))
+        inside = self.inside
+        if inside:
+            others = ", ".join(f"{n}@{p}" for n, p in sorted(inside))
             raise SafetyViolation(
                 f"t={rec.time:.3f}ms: {key[0]}@{key[1]} entered the CS "
                 f"while [{others}] inside"
             )
-        self.inside.add(key)
+        inside.add(key)
         self.total_entries += 1
-        self.max_concurrency = max(self.max_concurrency, len(self.inside))
+        # The raise above fires before a second concurrent entry could
+        # ever be recorded, so observed concurrency is exactly 1 from
+        # the first entry on — no len() bookkeeping per record needed.
+        self.max_concurrency = 1
 
     def _on_exit(self, rec: TraceRecord) -> None:
-        if self._include is not None and not self._include(rec):
+        fields = rec.fields
+        key = (fields["node"], fields["port"])
+        inc = self._included.get(key)
+        if inc is None:
+            include = self._include
+            inc = self._included[key] = (
+                include is None or bool(include(rec))
+            )
+        if not inc:
             return
-        key = self._key(rec)
         if key not in self.inside:
             raise SafetyViolation(
                 f"t={rec.time:.3f}ms: {key[0]}@{key[1]} exited the CS "

@@ -75,7 +75,7 @@ class TestModes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert out.count("RPR") == 7
+        assert out.count("RPR") == 8
 
     def test_json_format(self, capsys):
         assert main([str(FIXTURES / "bad_tree"), "--format", "json"]) == 1

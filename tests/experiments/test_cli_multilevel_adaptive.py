@@ -16,6 +16,55 @@ def test_cli_run_multilevel(capsys):
     assert "critical sections : 18" in out
 
 
+def test_cli_run_multilevel_honours_intra_inter_flags(capsys):
+    # Regression: --system multilevel used to hard-code naimi/naimi,
+    # silently ignoring --intra and --inter.
+    code = main([
+        "run", "--system", "multilevel", "--intra", "suzuki",
+        "--inter", "martin", "--clusters", "3", "--apps", "2",
+        "--n-cs", "3", "--platform", "two-tier",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "suzuki/martin" in out
+    assert "naimi" not in out
+
+
+def test_cli_run_rejects_unregistered_algorithm(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([
+            "run", "--system", "multilevel", "--intra", "nope",
+            "--clusters", "2", "--apps", "2", "--n-cs", "1",
+        ])
+    msg = str(exc.value)
+    assert "unknown algorithm 'nope'" in msg
+    assert "naimi" in msg  # the registered list is spelled out
+
+
+def test_cli_run_flat_ignores_inter_algorithm(capsys):
+    # A flat system never builds the inter level, so a bogus --inter
+    # must not block it.
+    code = main([
+        "run", "--system", "flat", "--intra", "naimi", "--inter", "nope",
+        "--clusters", "2", "--apps", "2", "--n-cs", "2",
+        "--platform", "two-tier",
+    ])
+    assert code == 0
+
+
+def test_cli_run_backend_flag(capsys):
+    # --backend compiled must produce the same metrics line for line.
+    argv = [
+        "run", "--clusters", "3", "--apps", "2", "--n-cs", "4",
+        "--platform", "two-tier", "--seed", "3",
+    ]
+    assert main(argv) == 0
+    interpreted = capsys.readouterr().out
+    assert main(argv + ["--backend", "compiled"]) == 0
+    compiled = capsys.readouterr().out
+    assert compiled == interpreted
+
+
 def test_cli_run_adaptive(capsys):
     code = main([
         "run", "--system", "adaptive", "--clusters", "3", "--apps", "2",

@@ -63,6 +63,26 @@ def test_zone_spread_validation():
         zone_spread(GRID5000_RTT_MS, [[0, 1, 2]])  # missing sites
 
 
+def test_zone_spread_rejects_out_of_range_site():
+    # Regression: site 9 does not exist in a 9-site matrix, but the
+    # zoning still covers nine distinct indices — this used to escape
+    # the coverage check and blow up as a KeyError mid-computation.
+    zones = [[0, 1, 2], [3, 4, 5], [6, 7, 9]]
+    with pytest.raises(TopologyError, match=r"site 9, outside 0\.\.8"):
+        zone_spread(GRID5000_RTT_MS, zones)
+
+
+def test_zone_spread_rejects_negative_site():
+    zones = [[0, 1, 2], [3, 4, 5], [6, 7, -1]]
+    with pytest.raises(TopologyError, match="site -1"):
+        zone_spread(GRID5000_RTT_MS, zones)
+
+
+def test_zone_spread_rejects_non_square_matrix():
+    with pytest.raises(TopologyError, match="square"):
+        zone_spread([[0.0, 1.0]], [[0, 1]])
+
+
 def test_zones_feed_multilevel_composition():
     from repro.core import MultilevelComposition
     from repro.grid import grid5000_latency, grid5000_topology
