@@ -16,6 +16,7 @@ See ``docs/performance.md`` for the measurement methodology.
 
 from .harness import (  # noqa: F401
     SCENARIOS,
+    check_memory_budget,
     check_regression,
     latest_bench_file,
     load_report,

@@ -51,6 +51,7 @@ __all__ = [
     "load_report",
     "latest_bench_file",
     "check_regression",
+    "check_memory_budget",
 ]
 
 SCENARIOS: Tuple[str, ...] = tuple(SCENARIO_FNS)
@@ -169,6 +170,28 @@ def latest_bench_file(root: str, exclude: Optional[str] = None) -> Optional[str]
         paths = [p for p in paths if os.path.abspath(p) != os.path.abspath(exclude)]
     paths.sort(key=os.path.basename)
     return paths[-1] if paths else None
+
+
+def check_memory_budget(results: Dict[str, Dict[str, float]]) -> List[str]:
+    """Enforce the scale-out memory gauge; return failure messages.
+
+    Scenarios that carry a ``peak_rss_mb`` gauge (the ``fig4_twotier_*``
+    scale-out runs) also declare their ``mem_budget_mb``; exceeding it
+    means the O(N)-memory path regressed to a quadratic structure
+    somewhere.  Unlike the events/sec gate this needs no baseline — the
+    budget is absolute (acceptance: 5k nodes under 2 GB)."""
+    failures: List[str] = []
+    for name, r in results.items():
+        peak = r.get("peak_rss_mb")
+        budget = r.get("mem_budget_mb")
+        if peak is None or budget is None:
+            continue
+        if peak > budget:
+            failures.append(
+                f"{name}: peak RSS {peak:,.1f} MB exceeds the "
+                f"{budget:,.0f} MB budget"
+            )
+    return failures
 
 
 def check_regression(

@@ -18,6 +18,13 @@ The scenarios are chosen to stress complementary paths:
 * ``crash_recovery``   — coordinator crash + failover under the recovery
                          layer: stresses timer cancellation (heartbeat
                          re-arming) and the heap-compaction path.
+* ``fig4_twotier_1k`` / ``fig4_twotier_5k`` — fig4-style compositions on
+                         1000- and 5000-node two-tier grids: the O(N)-
+                         memory scale-out path (block latency tables,
+                         delivery batching, calendar queue, bounded
+                         metrics).  They carry a ``peak_rss_mb`` gauge
+                         asserted against ``mem_budget_mb`` (2 GB) by
+                         the bench driver.
 * ``fig4_sweep_no_cache`` / ``fig4_sweep_cold_cache`` /
   ``fig4_sweep_warm_cache`` — the same small Fig. 4 ρ-sweep run without a
                          cache, against an empty cache (measures the
@@ -30,6 +37,7 @@ The scenarios are chosen to stress complementary paths:
 
 from __future__ import annotations
 
+import resource
 import tempfile
 import time
 from typing import Callable, Dict, List, Optional
@@ -38,7 +46,9 @@ from repro.cache import ExperimentCache
 from repro.core import Composition, CompositionRecovery, RecoveryConfig
 from repro.experiments import ExperimentConfig
 from repro.experiments.runner import _app_cs_filter, build_platform, build_system
+from repro.metrics import BoundedMetricsCollector
 from repro.net import CrashController, Network, TwoTierLatency, uniform_topology
+from repro.net.topology import LARGE_GRID_NODES
 from repro.sim import Simulator
 from repro.verify.safety import MutualExclusionChecker
 from repro.workload import deploy_workload
@@ -55,14 +65,16 @@ def _timed_run(sim: Simulator, until: float) -> float:
 def _build_experiment(config: ExperimentConfig):
     """Construct a ``run_experiment``-shaped simulation, ready to run."""
     config.validate()
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, queue=config.queue)
     topology, latency = build_platform(config)
     if config.backend == "compiled":
         from repro.compile import CompiledNetwork
 
-        net = CompiledNetwork(sim, topology, latency, fifo=config.fifo)
+        net = CompiledNetwork(sim, topology, latency, fifo=config.fifo,
+                              batch=config.batch_delivery)
     else:
-        net = Network(sim, topology, latency, fifo=config.fifo)
+        net = Network(sim, topology, latency, fifo=config.fifo,
+                      batch=config.batch_delivery)
     system = build_system(sim, net, topology, config)
     MutualExclusionChecker(sim.trace, include=_app_cs_filter(system.app_nodes))
 
@@ -73,12 +85,16 @@ def _build_experiment(config: ExperimentConfig):
         if remaining["count"] == 0:
             sim.stop()
 
+    collector_arg = None
+    if config.n_apps >= LARGE_GRID_NODES:
+        collector_arg = BoundedMetricsCollector(seed=config.seed)
     apps, collector = deploy_workload(
         system,
         alpha_ms=config.alpha_ms,
         rho=config.rho,
         n_cs=config.n_cs,
         distribution=config.distribution,
+        collector=collector_arg,
         on_done=app_done,
     )
     if config.backend == "compiled":
@@ -272,6 +288,66 @@ def crash_recovery(quick: bool) -> Dict[str, float]:
     }
 
 
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak resident set size in MiB (Linux reports
+    ``ru_maxrss`` in KiB).  Monotone over the process, so within one
+    bench process it is an *upper bound* on any single scenario's peak —
+    exactly the right direction for a memory-budget assertion."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _twotier_config(n_clusters: int, apps_per_cluster: int,
+                    n_cs: int) -> ExperimentConfig:
+    """A fig4-style Naimi/Naimi composition on the uniform two-tier
+    platform, configured for the O(N)-memory scale-out path: compiled
+    backend, calendar event queue, delivery batching forced on (it would
+    auto-enable anyway above :data:`LARGE_GRID_NODES` nodes)."""
+    n_apps = n_clusters * apps_per_cluster
+    return ExperimentConfig(
+        system="composition",
+        intra="naimi",
+        inter="naimi",
+        platform="two-tier",
+        n_clusters=n_clusters,
+        apps_per_cluster=apps_per_cluster,
+        n_cs=n_cs,
+        rho=float(n_apps),
+        seed=1,
+        backend="compiled",
+        queue="calendar",
+        batch_delivery=True,
+    )
+
+
+def _scaleout_run(config: ExperimentConfig) -> Dict[str, float]:
+    """One instrumented scale-out run plus the memory gauge.
+
+    ``peak_rss_mb``/``mem_budget_mb`` ride along in the result; the
+    bench driver fails the run when the gauge exceeds the budget
+    (acceptance: a 5k-node run stays under 2 GB)."""
+    result = _instrumented_experiment(config)
+    result["peak_rss_mb"] = round(_peak_rss_mb(), 1)
+    result["mem_budget_mb"] = 2048.0
+    return result
+
+
+def fig4_twotier_1k(quick: bool) -> Dict[str, float]:
+    """Scale-out smoke: 20 clusters x (49 apps + 1 coordinator) = 1000
+    nodes on the two-tier platform — the first size where the block
+    latency tables, delivery batching and the bounded collector all
+    engage.  CI runs this one (quick) under the regression gate."""
+    n_cs = 3 if quick else 10
+    return _scaleout_run(_twotier_config(20, 49, n_cs))
+
+
+def fig4_twotier_5k(quick: bool) -> Dict[str, float]:
+    """Scale-out acceptance: 50 clusters x (99 apps + 1 coordinator) =
+    5000 nodes.  The acceptance criteria (>= 100k events/s, peak RSS
+    < 2 GB) are read off this scenario."""
+    n_cs = 2 if quick else 5
+    return _scaleout_run(_twotier_config(50, 99, n_cs))
+
+
 def _fig4_sweep_configs(quick: bool) -> List[ExperimentConfig]:
     """A small version of the Fig. 4 ρ/N sweep (one seed per cell)."""
     apps = 3 if quick else 20
@@ -347,6 +423,8 @@ SCENARIO_FNS: Dict[str, Callable[[bool], Dict[str, float]]] = {
     "fig4_composition_compiled": fig4_composition_compiled,
     "flat_suzuki": flat_suzuki,
     "crash_recovery": crash_recovery,
+    "fig4_twotier_1k": fig4_twotier_1k,
+    "fig4_twotier_5k": fig4_twotier_5k,
     "fig4_sweep_no_cache": fig4_sweep_no_cache,
     "fig4_sweep_cold_cache": fig4_sweep_cold_cache,
     "fig4_sweep_warm_cache": fig4_sweep_warm_cache,

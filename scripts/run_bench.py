@@ -30,6 +30,7 @@ for entry in (os.path.join(ROOT, "src"), ROOT):
 
 from benchmarks.perf import (  # noqa: E402
     SCENARIOS,
+    check_memory_budget,
     check_regression,
     latest_bench_file,
     load_report,
@@ -93,6 +94,19 @@ def main(argv=None) -> int:
             print(f"  compiled   : {comp['digest']}")
             return 1
         print(f"backend digest gate: ok ({str(interp['digest'])[:16]}...)")
+
+    # Memory gauge: the scale-out scenarios carry a peak-RSS reading and
+    # an absolute budget; a breach means O(N) memory regressed.
+    mem_failures = check_memory_budget(results)
+    gauged = [n for n, r in results.items() if "peak_rss_mb" in r]
+    if mem_failures:
+        print("memory budget gate: FAIL")
+        for line in mem_failures:
+            print(f"  {line}")
+        return 1
+    if gauged:
+        peak = max(results[n]["peak_rss_mb"] for n in gauged)
+        print(f"memory budget gate: ok (peak RSS {peak:,.1f} MB)")
 
     written = None
     if not args.no_write:

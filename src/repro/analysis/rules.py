@@ -15,9 +15,10 @@ RPR004    handlers must not drive the kernel (``Simulator.run``/``step``
 RPR005    composition purity: ``repro.mutex`` must not import
           ``repro.core`` (coordinator/composition internals)
 RPR006    no mutable default arguments
-RPR007    figure/suite sweeps must go through the cache-aware entry
-          points — no direct ``run_experiment``/``run_many`` calls in
-          ``repro.experiments.figures`` / ``repro.experiments.suites``
+RPR007    figure/suite/scalability sweeps must go through the
+          cache-aware entry points — no direct
+          ``run_experiment``/``run_many`` calls in
+          ``repro.experiments.{figures,suites,scalability}``
 RPR008    no hand-written per-kind dispatch inside ``repro.compile`` —
           handler resolution must come from the generated tables
           (``dispatch_table``/``fast_table``), not string-built
@@ -540,7 +541,11 @@ class CacheBypassRule(Rule):
     )
 
     #: modules whose job is sweeping the experiment matrix
-    _TARGET_MODULES = ("repro.experiments.figures", "repro.experiments.suites")
+    _TARGET_MODULES = (
+        "repro.experiments.figures",
+        "repro.experiments.suites",
+        "repro.experiments.scalability",
+    )
     #: the cache-oblivious runner entry points
     _BYPASS_SUFFIXES = ("run_experiment", "run_many")
 

@@ -40,6 +40,7 @@ to the inherited interpreted code, which is equivalence by construction
 
 from __future__ import annotations
 
+import logging
 from heapq import heappush
 from typing import Dict, Optional, Tuple
 
@@ -53,6 +54,8 @@ from ..sim.kernel import _mix64
 from .tables import dispatch_table, fast_table
 
 __all__ = ["CompiledNetwork"]
+
+logger = logging.getLogger(__name__)
 
 
 class _Route:
@@ -85,9 +88,17 @@ class CompiledNetwork(Network):
         super().__init__(*args, **kwargs)
         self._pending_stats = {}
         # Immutable-for-the-run aliases: the kernel never rebinds its
-        # heap (compaction mutates it in place) and the tie salt is set
-        # once in Simulator.__init__.
-        self._ev_heap = self.sim._heap
+        # queue (compaction mutates it in place) and the tie salt is set
+        # once in Simulator.__init__.  A list queue is pushed with the
+        # module-level heappush; a calendar queue through its push method
+        # (`_ev_heap is None` selects the branch in the hot paths).
+        heap_obj = self.sim._heap
+        if type(heap_obj) is list:
+            self._ev_heap = heap_obj
+            self._ev_cal = None
+        else:
+            self._ev_heap = None
+            self._ev_cal = heap_obj
         self._salt = self.sim._tie_salt
         #: static for the network's lifetime: crash/fault/FIFO traffic
         #: must run the interpreted pipeline verbatim.
@@ -99,11 +110,21 @@ class CompiledNetwork(Network):
         latency = self.latency
         # The latency inline is only exact for the stock table-backed
         # models; a subclass overriding one_way() keeps its own code.
+        # Two inline tiers: the dense node-pair table below the 512-node
+        # cap, or the O(N + C^2) cluster block table above it (same
+        # float64 values, one extra index hop) — large grids no longer
+        # fall off the compiled fast path.
         one_way = type(latency).one_way
-        self._inline_latency = (
-            one_way in (TwoTierLatency.one_way, MatrixLatency.one_way)
-            and getattr(latency, "_node_table", None) is not None
+        self._inline_latency = one_way in (
+            TwoTierLatency.one_way, MatrixLatency.one_way
         )
+        if not self._inline_latency:
+            logger.info(
+                "latency model %s falls off the compiled inline fast "
+                "path (no stock delay table); sends go through the "
+                "interpreted one_way() per call",
+                type(latency).__name__,
+            )
         self._n_nodes = self.topology.n_nodes
         self._routes: Dict[Tuple[int, str], _Route] = {}
         # Ultra-path gate flags, snapshotted per tracer version so the
@@ -117,9 +138,13 @@ class CompiledNetwork(Network):
         # construction; only the batch override is dynamic).
         if self._inline_latency:
             self._lat_table = latency._node_table
+            self._lat_cluster_of = latency._cluster_of
+            self._lat_ctab = latency._cluster_table
             self._zero_jitter = latency._sigma <= 0.0
         else:
             self._lat_table = None
+            self._lat_cluster_of = None
+            self._lat_ctab = None
             self._zero_jitter = True
 
     def add_send_tap(self, tap) -> None:
@@ -244,13 +269,43 @@ class CompiledNetwork(Network):
         due = now + self._delay_inline(src, dst)
         msg.seq = self._seq
         self._seq += 1
+        if self._batching:
+            # Same coalescing contract as the interpreted path (see
+            # Network._schedule_delivery); items are generic
+            # ``(callback, args)`` pairs so fused, ultra and interpreted
+            # deliveries can share one batch event.
+            ev = self._bat_event
+            if (
+                ev is not None
+                and due == self._bat_due
+                and sim._seq == self._bat_seq
+                and not ev.cancelled
+                and not trace.event_active
+            ):
+                if ev.callback is self._run_batch:
+                    ev.args[0].append((self._fast_deliver, (msg,)))
+                else:
+                    ev.args = ([(ev.callback, ev.args),
+                                (self._fast_deliver, (msg,))],)
+                    ev.callback = self._run_batch
+                sim._seq += 1  # burn the unbatched event's seq
+                self._bat_seq = sim._seq
+                return msg
         seq = sim._seq
         event = Event(due, seq, self._fast_deliver, (msg,))
         salt = sim._tie_salt
         if salt is not None:
             seq = _mix64(seq ^ salt)
-        heappush(sim._heap, (due, seq, event))
+        heap = self._ev_heap
+        if heap is not None:
+            heappush(heap, (due, seq, event))
+        else:
+            self._ev_cal.push((due, seq, event))
         sim._seq += 1
+        if self._batching:
+            self._bat_event = event
+            self._bat_due = due
+            self._bat_seq = sim._seq
         return msg
 
     def _record_inline(
@@ -284,7 +339,12 @@ class CompiledNetwork(Network):
             return latency.one_way(src, dst, self._rng)
         if src == dst:
             return LOCAL_DELIVERY_MS  # no jitter draw, as in one_way
-        base = latency._node_table[src][dst]
+        table = self._lat_table
+        if table is not None:
+            base = table[src][dst]
+        else:  # large grid: O(N + C^2) cluster block table
+            cluster_of = self._lat_cluster_of
+            base = self._lat_ctab[cluster_of[src]][cluster_of[dst]]
         sigma = latency._sigma
         if sigma <= 0.0:
             return base
@@ -394,17 +454,42 @@ class CompiledNetwork(Network):
         if self._inline_latency and latency._batch is None:
             if src == dst:
                 due = now + LOCAL_DELIVERY_MS  # no jitter draw
-            elif self._zero_jitter:
-                due = now + self._lat_table[src][dst]
             else:
-                due = now + self._lat_table[src][dst] * float(
-                    self._rng.lognormal(
-                        mean=latency._lognorm_mean, sigma=latency._sigma
+                table = self._lat_table
+                if table is not None:
+                    base = table[src][dst]
+                else:  # large grid: cluster block table
+                    cluster_of = self._lat_cluster_of
+                    base = self._lat_ctab[cluster_of[src]][cluster_of[dst]]
+                if self._zero_jitter:
+                    due = now + base
+                else:
+                    due = now + base * float(
+                        self._rng.lognormal(
+                            mean=latency._lognorm_mean, sigma=latency._sigma
+                        )
                     )
-                )
         else:
             due = now + latency.one_way(src, dst, self._rng)
         self._seq += 1  # Message.seq watermark, identically consumed
+        if self._batching:
+            ev = self._bat_event
+            if (
+                ev is not None
+                and due == self._bat_due
+                and sim._seq == self._bat_seq
+                and not ev.cancelled
+                and not trace.event_active
+            ):
+                if ev.callback is self._run_batch:
+                    ev.args[0].append((fn, (route.peer, src, payload)))
+                else:
+                    ev.args = ([(ev.callback, ev.args),
+                                (fn, (route.peer, src, payload))],)
+                    ev.callback = self._run_batch
+                sim._seq += 1  # burn the unbatched event's seq
+                self._bat_seq = sim._seq
+                return
         seq = sim._seq
         event = Event.__new__(Event)
         event.time = due
@@ -416,5 +501,13 @@ class CompiledNetwork(Network):
         salt = self._salt
         if salt is not None:
             seq = _mix64(seq ^ salt)
-        heappush(self._ev_heap, (due, seq, event))
+        heap = self._ev_heap
+        if heap is not None:
+            heappush(heap, (due, seq, event))
+        else:
+            self._ev_cal.push((due, seq, event))
         sim._seq += 1
+        if self._batching:
+            self._bat_event = event
+            self._bat_due = due
+            self._bat_seq = sim._seq

@@ -509,8 +509,16 @@ class CompiledApplicationProcess(ApplicationProcess):
 
     def _bind_workload(self) -> None:
         # Same immutable-for-the-run aliases as CompiledNetwork: the
-        # kernel's heap identity and tie salt never change after init.
-        self._ev_heap = self.sim._heap
+        # kernel's queue identity and tie salt never change after init.
+        # A calendar queue is pushed through its method (`_ev_heap is
+        # None` selects the branch at the push sites).
+        heap_obj = self.sim._heap
+        if type(heap_obj) is list:
+            self._ev_heap = heap_obj
+            self._ev_cal = None
+        else:
+            self._ev_heap = None
+            self._ev_cal = heap_obj
         self._ev_salt = self.sim._tie_salt
         if self.distribution == "exponential" and self.beta > 0.0:
             n = self.n_cs - self.completed
@@ -555,7 +563,11 @@ class CompiledApplicationProcess(ApplicationProcess):
         salt = self._ev_salt
         if salt is not None:
             seq = _mix64(seq ^ salt)
-        heappush(self._ev_heap, (due, seq, event))
+        heap = self._ev_heap
+        if heap is not None:
+            heappush(heap, (due, seq, event))
+        else:
+            self._ev_cal.push((due, seq, event))
         sim._seq += 1
 
     def _release(self) -> None:
@@ -599,7 +611,11 @@ class CompiledApplicationProcess(ApplicationProcess):
             salt = self._ev_salt
             if salt is not None:
                 seq = _mix64(seq ^ salt)
-            heappush(self._ev_heap, (due, seq, event))
+            heap = self._ev_heap
+            if heap is not None:
+                heappush(heap, (due, seq, event))
+            else:
+                self._ev_cal.push((due, seq, event))
             sim._seq += 1
         elif self.on_done is not None:
             self.on_done(self)

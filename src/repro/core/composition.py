@@ -144,9 +144,11 @@ class Composition(MutexSystem):
             coord_nodes.append(coord_node)
 
         inter_holder = coord_nodes[inter_initial_cluster]
+        # One shared tuple: every inter peer interns the same peer table.
+        inter_peer_set = tuple(coord_nodes)
         self.inter_peers: List[MutexPeer] = [
             inter_cls(
-                sim, net, node, coord_nodes, "inter",
+                sim, net, node, inter_peer_set, "inter",
                 initial_holder=inter_holder,
             )
             for node in coord_nodes
@@ -211,10 +213,13 @@ class FlatMutex(MutexSystem):
             peer_factory = get_algorithm(algorithm).peer_class
         else:
             self.algorithm_name = name or algorithm
-        app_nodes: List[int] = []
+        app_list: List[int] = []
         for ci in range(topology.n_clusters):
             _, cluster_apps = _split_cluster_nodes(topology, ci)
-            app_nodes.extend(cluster_apps)
+            app_list.extend(cluster_apps)
+        # One shared tuple: every flat peer interns the same peer table
+        # (an O(N) copy per peer would make construction O(N^2)).
+        app_nodes = tuple(app_list)
         holder = topology.cluster_nodes(initial_cluster)[1]
         self._app_peers: Dict[int, MutexPeer] = {
             node: peer_factory(

@@ -25,7 +25,7 @@ from ..cache.store import ExperimentCache, cache_from_env
 from ..grid.grid5000 import GRID5000_RTT_MS, GRID5000_SITES
 from ..metrics.report import format_matrix, format_table
 from ..mutex.registry import available_algorithms
-from .config import ExperimentConfig
+from .config import BACKENDS, ExperimentConfig
 from .figures import ALL_FIGURES, PAPER_SCALE, QUICK_SCALE, FigureScale
 from .runner import run_experiment
 from .scalability import scalability_study
@@ -133,6 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     sc_p.add_argument("--algorithm", default="suzuki")
     sc_p.add_argument("--clusters", type=int, nargs="+", default=[2, 4, 8])
     sc_p.add_argument("--apps", type=int, default=4)
+    sc_p.add_argument("--backend", choices=BACKENDS, default="interpreted")
+    _add_cache_flags(sc_p)
 
     cmp_p = sub.add_parser(
         "compare",
@@ -257,10 +259,13 @@ def _cmd_latency(_args) -> int:
 
 
 def _cmd_scalability(args) -> int:
+    cache = _cache_from_args(args)
     study = scalability_study(
         algorithm=args.algorithm,
         cluster_counts=args.clusters,
         apps_per_cluster=args.apps,
+        backend=args.backend,
+        cache=cache,
     )
     rows = []
     for label, points in study.items():

@@ -20,8 +20,9 @@ from ..errors import ConfigurationError, LivenessViolation
 from ..grid.builders import random_wan_grid, two_tier_grid
 from ..grid.grid5000 import grid5000_latency, grid5000_topology
 from ..metrics.analysis import SummaryStats, pooled
+from ..metrics.collector import BoundedMetricsCollector
 from ..net.network import Network
-from ..net.topology import GridTopology
+from ..net.topology import LARGE_GRID_NODES, GridTopology
 from ..obs.layer import ObservabilityLayer
 from ..obs.report import ObsReport
 from ..sim.kernel import Simulator
@@ -219,16 +220,24 @@ def _execute_experiment(
     obs_hook: Optional[Callable[[ObservabilityLayer], None]] = None,
 ) -> ExperimentResult:
     """The uncached run: build, simulate, check, aggregate."""
-    sim = Simulator(seed=config.seed, tie_seed=config.tie_seed)
+    sim = Simulator(
+        seed=config.seed, tie_seed=config.tie_seed, queue=config.queue
+    )
     topology, latency = build_platform(config)
     if config.batch_jitter:
         latency.enable_batched_jitter()
     if config.backend == "compiled":
         from ..compile import CompiledNetwork
 
-        net: Network = CompiledNetwork(sim, topology, latency, fifo=config.fifo)
+        net: Network = CompiledNetwork(
+            sim, topology, latency, fifo=config.fifo,
+            batch=config.batch_delivery,
+        )
     else:
-        net = Network(sim, topology, latency, fifo=config.fifo)
+        net = Network(
+            sim, topology, latency, fifo=config.fifo,
+            batch=config.batch_delivery,
+        )
     system = build_system(sim, net, topology, config)
 
     # Attach after build_system (every handler registered, so the
@@ -258,11 +267,19 @@ def _execute_experiment(
         if remaining["count"] == 0:
             sim.stop()
 
+    # Above the scale-out threshold the exact collector's per-CS record
+    # list (n_apps * n_cs entries) dominates peak memory; switch to the
+    # bounded collector, which keeps exact streaming moments plus a
+    # reservoir sample (deterministic per seed, digest-neutral).
+    collector_arg = None
+    if config.n_apps >= LARGE_GRID_NODES:
+        collector_arg = BoundedMetricsCollector(seed=config.seed)
     apps, collector = deploy_workload(
         system,
         alpha_ms=config.alpha_ms,
         rho=config.rho,
         n_cs=config.n_cs,
+        collector=collector_arg,
         distribution=config.distribution,
         on_done=app_done,
     )

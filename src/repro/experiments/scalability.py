@@ -10,15 +10,22 @@ through a WAN cycle.
 This module sweeps the grid size and reports per-CS message counts and
 bytes for flat vs composed deployments, on the uniform two-tier platform
 (so the trend is not confounded by the Grid'5000 matrix's heterogeneity).
+
+Large sweeps route through :func:`repro.experiments.parallel.run_configs_cached`
+— the cache-aware batch entry point (incremental re-sweeps hit the
+experiment cache, misses run in the warm worker pool) — and accept the
+``backend``/``queue`` execution knobs so 1k+-node points can use the
+compiled fast path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cache.store import ExperimentCache
 from .config import ExperimentConfig
-from .runner import run_experiment
+from .parallel import run_configs_cached
 
 __all__ = ["ScalabilityPoint", "scalability_study"]
 
@@ -47,10 +54,21 @@ def scalability_study(
     n_cs: int = 10,
     rho_over_n: float = 1.0,
     seed: int = 0,
+    backend: str = "interpreted",
+    queue: str = "heap",
+    cache: Optional[ExperimentCache] = None,
 ) -> Dict[str, Tuple[ScalabilityPoint, ...]]:
     """Flat ``algorithm`` vs the ``algorithm-algorithm`` composition over
-    growing cluster counts.  Returns ``{label: points}``."""
-    out: Dict[str, list] = {f"{algorithm} (flat)": [], f"{algorithm}-{algorithm}": []}
+    growing cluster counts.  Returns ``{label: points}``.
+
+    ``backend``/``queue`` select the execution fast paths (equivalence-
+    gated: they change nothing but the wall clock); ``cache`` makes
+    repeated sweeps incremental.
+    """
+    flat_label = f"{algorithm} (flat)"
+    comp_label = f"{algorithm}-{algorithm}"
+    labels: List[str] = []
+    configs: List[ExperimentConfig] = []
     for n_clusters in cluster_counts:
         n_apps = n_clusters * apps_per_cluster
         base = ExperimentConfig(
@@ -60,24 +78,27 @@ def scalability_study(
             n_cs=n_cs,
             rho=rho_over_n * n_apps,
             seed=seed,
+            backend=backend,
+            queue=queue,
         )
-        for label, cfg in (
-            (f"{algorithm} (flat)", base.with_(system="flat", intra=algorithm)),
-            (
-                f"{algorithm}-{algorithm}",
-                base.with_(system="composition", intra=algorithm, inter=algorithm),
-            ),
-        ):
-            r = run_experiment(cfg)
-            out[label].append(
-                ScalabilityPoint(
-                    label=label,
-                    n_clusters=n_clusters,
-                    apps_per_cluster=apps_per_cluster,
-                    inter_messages_per_cs=r.inter_messages_per_cs,
-                    total_messages_per_cs=r.messages_per_cs,
-                    bytes_per_cs=r.total_bytes / r.cs_count,
-                    obtaining_mean_ms=r.obtaining.mean,
-                )
+        labels.append(flat_label)
+        configs.append(base.with_(system="flat", intra=algorithm))
+        labels.append(comp_label)
+        configs.append(
+            base.with_(system="composition", intra=algorithm, inter=algorithm)
+        )
+    results = run_configs_cached(configs, cache=cache)
+    out: Dict[str, list] = {flat_label: [], comp_label: []}
+    for label, cfg, r in zip(labels, configs, results):
+        out[label].append(
+            ScalabilityPoint(
+                label=label,
+                n_clusters=cfg.n_clusters,
+                apps_per_cluster=apps_per_cluster,
+                inter_messages_per_cs=r.inter_messages_per_cs,
+                total_messages_per_cs=r.messages_per_cs,
+                bytes_per_cs=r.total_bytes / r.cs_count,
+                obtaining_mean_ms=r.obtaining.mean,
             )
+        )
     return {label: tuple(points) for label, points in out.items()}

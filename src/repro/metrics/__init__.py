@@ -1,7 +1,7 @@
 """Measurement layer: per-CS records, aggregation, text reports."""
 
 from .analysis import SummaryStats, jain_index, pooled, summarize
-from .collector import MetricsCollector
+from .collector import BoundedMetricsCollector, MetricsCollector
 from .records import CSRecord, RecoveryRecord
 from .report import format_matrix, format_series_table, format_table
 from .timeline import TimelineRecorder
@@ -10,6 +10,7 @@ __all__ = [
     "CSRecord",
     "RecoveryRecord",
     "MetricsCollector",
+    "BoundedMetricsCollector",
     "SummaryStats",
     "summarize",
     "pooled",

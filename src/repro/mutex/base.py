@@ -38,6 +38,35 @@ from ..sim.process import Process
 
 __all__ = ["PeerState", "MutexPeer"]
 
+#: Identity memo of already-validated peer tuples: ``id(tuple) ->
+#: tuple``.  The strong reference pins the id for the memo's lifetime,
+#: so a hit is always the same live object.  Bounded: cleared wholesale
+#: past the cap (re-validation is the only cost).
+_PEER_TABLES: dict = {}
+_PEER_TABLES_MAX = 4096
+
+
+def _intern_peers(peers: Sequence[int]) -> Tuple[int, ...]:
+    """Validated, canonical peer tuple — shared across an instance.
+
+    Every peer of one algorithm instance receives the same ``peers``
+    sequence; interning makes them share **one** tuple object (O(N)
+    total instead of an O(N) copy per peer, i.e. O(N²) per instance) and
+    runs the duplicate check once instead of once per peer.  Constructing
+    a 5k-node flat instance goes from ~25M tuple slots to 5k.
+    """
+    if type(peers) is tuple and _PEER_TABLES.get(id(peers)) is peers:
+        return peers
+    canon = tuple(int(p) for p in peers)
+    if len(set(canon)) != len(canon):
+        raise ProtocolError(f"duplicate peers in {peers}")
+    if type(peers) is tuple and canon == peers:
+        canon = peers  # reuse the caller's tuple: later peers hit the memo
+    if len(_PEER_TABLES) >= _PEER_TABLES_MAX:
+        _PEER_TABLES.clear()
+    _PEER_TABLES[id(canon)] = canon
+    return canon
+
 
 class PeerState(enum.Enum):
     """The classical mutual exclusion automaton states (paper Fig 1a)."""
@@ -81,11 +110,9 @@ class MutexPeer(Process):
         super().__init__(sim, f"{port}@{node}")
         if node not in peers:
             raise ProtocolError(f"node {node} not in peer set {peers}")
-        if len(set(peers)) != len(peers):
-            raise ProtocolError(f"duplicate peers in {peers}")
         self.net = net
         self.node = int(node)
-        self.peers: Tuple[int, ...] = tuple(int(p) for p in peers)
+        self.peers: Tuple[int, ...] = _intern_peers(peers)
         self.port = port
         if initial_holder is None:
             initial_holder = self.peers[0]

@@ -35,13 +35,16 @@ a contract.  See ``docs/performance.md`` for the determinism contract.
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import NetworkError
 from .topology import GridTopology
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "LatencyModel",
@@ -169,6 +172,12 @@ def _node_delay_table(
     memory); the diagonal holds :data:`LOCAL_DELIVERY_MS`."""
     n = topology.n_nodes
     if n > _NODE_TABLE_MAX_NODES:
+        logger.info(
+            "topology has %d nodes (> %d): skipping the dense O(N^2) "
+            "node-pair delay table in favour of O(N + C^2) cluster block "
+            "tables (same delays, one extra index hop per send)",
+            n, _NODE_TABLE_MAX_NODES,
+        )
         return None
     cluster_of = [topology.cluster_of(node) for node in range(n)]
     table: List[List[float]] = []
@@ -201,7 +210,76 @@ class ConstantLatency(LatencyModel):
         return self._jittered(self.delay_ms, rng)
 
 
-class TwoTierLatency(LatencyModel):
+class _TableLatency(LatencyModel):
+    """Shared table machinery for the cluster-structured models.
+
+    Memory is O(N + C²) regardless of grid size: one shared cluster map
+    (aliased from the topology, not copied) plus a C×C cluster-pair block
+    table.  Below :data:`_NODE_TABLE_MAX_NODES` nodes an additional dense
+    node-pair table of Python floats trades O(N²) memory for one fewer
+    index hop per send; above it, the scalar path reads the block table
+    directly and the vectorized :meth:`base_delays` serves bulk lookups.
+
+    The block tables are kept as float64 (nested Python floats for the
+    scalar path, a numpy mirror for the vectorized one) rather than
+    float32: the scalar and vectorized paths must agree bitwise for the
+    digest-equivalence gates, and at C ≤ 1000 clusters the float64 block
+    table is ≤ 8 MB — the O(N²) node table was the memory problem, not
+    the element width.
+    """
+
+    def _init_tables(self, topology: GridTopology,
+                     cluster_table: List[List[float]]) -> None:
+        """Install the cluster map and delay tables (construction time)."""
+        # The topology already owns a dense node->cluster list; alias it
+        # instead of building a per-model copy (it is never mutated).
+        self._cluster_of: List[int] = topology._cluster_of
+        self._cluster_table = cluster_table
+        self._node_table = _node_delay_table(topology, cluster_table)
+        self._block_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def _block_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Numpy mirrors ``(block_table, cluster_of)`` for bulk lookup."""
+        arrs = self._block_cache
+        if arrs is None:
+            arrs = self._block_cache = (
+                np.asarray(self._cluster_table, dtype=np.float64),
+                np.asarray(self._cluster_of, dtype=np.intp),
+            )
+        return arrs
+
+    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        if src == dst:
+            return LOCAL_DELIVERY_MS
+        table = self._node_table
+        if table is not None:
+            base = table[src][dst]
+        else:
+            cluster_of = self._cluster_of
+            base = self._cluster_table[cluster_of[src]][cluster_of[dst]]
+        if self._sigma <= 0.0:
+            return base
+        return self._jittered(base, rng)
+
+    def base_delays(
+        self, src: int, dsts: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized jitter-free base delays ``src -> each of dsts``.
+
+        Bitwise-equal to the scalar ``one_way`` base values (both read
+        the same float64 cluster-pair block table); self-sends map to
+        :data:`LOCAL_DELIVERY_MS`.  O(len(dsts)) regardless of grid
+        size — the bulk-lookup path for fan-out on 1k-10k-node grids.
+        """
+        blocks, cluster_of = self._block_arrays()
+        dst_arr = np.asarray(dsts, dtype=np.intp)
+        base = blocks[cluster_of[src], cluster_of[dst_arr]]
+        if base.size:
+            base[dst_arr == src] = LOCAL_DELIVERY_MS
+        return base
+
+
+class TwoTierLatency(_TableLatency):
     """LAN delay inside a cluster, a single WAN delay between clusters.
 
     The simplest model exhibiting the paper's latency hierarchy; used by
@@ -231,25 +309,10 @@ class TwoTierLatency(LatencyModel):
             [self.lan_ms if i == j else self.wan_ms for j in range(n)]
             for i in range(n)
         ]
-        self._cluster_of = [topology.cluster_of(v) for v in range(topology.n_nodes)]
-        self._cluster_table = cluster_table
-        self._node_table = _node_delay_table(topology, cluster_table)
-
-    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
-        if src == dst:
-            return LOCAL_DELIVERY_MS
-        table = self._node_table
-        if table is not None:
-            base = table[src][dst]
-        else:
-            cluster_of = self._cluster_of
-            base = self._cluster_table[cluster_of[src]][cluster_of[dst]]
-        if self._sigma <= 0.0:
-            return base
-        return self._jittered(base, rng)
+        self._init_tables(topology, cluster_table)
 
 
-class MatrixLatency(LatencyModel):
+class MatrixLatency(_TableLatency):
     """Per-cluster-pair latencies from a (possibly asymmetric) RTT matrix.
 
     Parameters
@@ -287,23 +350,7 @@ class MatrixLatency(LatencyModel):
         self._init_jitter(jitter)
         # Precomputed fast-path tables (plain floats; `.tolist()` yields
         # exactly the float64 values the numpy path produced).
-        cluster_table = self._one_way.tolist()
-        self._cluster_of = [topology.cluster_of(v) for v in range(topology.n_nodes)]
-        self._cluster_table = cluster_table
-        self._node_table = _node_delay_table(topology, cluster_table)
-
-    def one_way(self, src: int, dst: int, rng: np.random.Generator) -> float:
-        if src == dst:
-            return LOCAL_DELIVERY_MS
-        table = self._node_table
-        if table is not None:
-            base = table[src][dst]
-        else:
-            cluster_of = self._cluster_of
-            base = self._cluster_table[cluster_of[src]][cluster_of[dst]]
-        if self._sigma <= 0.0:
-            return base
-        return self._jittered(base, rng)
+        self._init_tables(topology, self._one_way.tolist())
 
     def mean_one_way(self, src_cluster: int, dst_cluster: int) -> float:
         """Jitter-free one-way delay between two clusters (ms)."""

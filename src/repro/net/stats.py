@@ -43,9 +43,10 @@ class MessageStats:
         # than the rest of `record` combined).
         n = self.topology.n_clusters
         self._matrix = [[0] * n for _ in range(n)]
-        self._cluster_of = [
-            self.topology.cluster_of(v) for v in range(self.topology.n_nodes)
-        ]
+        # Alias the topology's dense node->cluster list (never mutated)
+        # instead of copying it: at 10k nodes every redundant O(N) copy
+        # counts, and the accumulators above are already O(C^2 + ports).
+        self._cluster_of = self.topology._cluster_of
 
     @property
     def cluster_matrix(self) -> np.ndarray:

@@ -1,0 +1,135 @@
+"""A bucketed event queue for large event populations.
+
+:class:`CalendarQueue` is the classic calendar-queue structure adapted to
+the kernel's exact-ordering contract: events are hashed into fixed-width
+time buckets (a dict keyed by ``int(time // width)``), each bucket is a
+small binary heap of ``(time, seq, event)`` entries, and a separate
+min-heap of bucket ids tracks which bucket is due next.
+
+Why this is *exactly* heap-ordered
+----------------------------------
+``floor(time / width)`` is monotone in ``time``, so every entry in bucket
+``b`` is due strictly before every entry in any bucket ``b' > b`` — and
+entries that tie on ``time`` necessarily share a bucket, where the inner
+heap orders them by the unique ``seq`` tie-break.  The pop order is
+therefore the exact ``(time, seq)`` total order of the default tuple
+heap, which is what makes ``Simulator(queue="calendar")`` digest-equal to
+``Simulator(queue="heap")`` (pinned by the equivalence tests).
+
+When it wins
+------------
+A binary heap costs O(log n) per operation in the *total* pending-event
+population; the calendar queue pays O(log k) in the population of the
+*current bucket* (plus amortised O(log B) over active buckets).  On
+1k-10k-node grids where tens of thousands of deliveries cluster within a
+few simulated milliseconds, buckets stay small and shallow.  The
+structure is opt-in because on paper-scale runs (hundreds of pending
+events) the plain heap's constant factor wins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .event import Event
+
+__all__ = ["CalendarQueue"]
+
+#: Heap entries mirror the kernel's ``(time, seq, event)`` tuples.
+_Entry = Tuple[float, int, "Event"]
+
+
+class CalendarQueue:
+    """Bucketed priority queue with exact ``(time, seq)`` pop order.
+
+    Supports the subset of the list-heap protocol the kernel uses:
+    ``push``/``pop`` (the kernel calls them unbound, mirroring
+    ``heapq.heappush(heap, entry)``), ``head`` (peek), ``__len__`` /
+    ``__bool__`` (``while heap:`` loops), ``__iter__`` (pending-event
+    introspection), and ``compact`` (tombstone removal).
+    """
+
+    __slots__ = ("_width", "_buckets", "_ids", "_len")
+
+    def __init__(self, width_ms: float = 1.0) -> None:
+        if width_ms <= 0.0:
+            raise SimulationError(
+                f"calendar bucket width must be positive, got {width_ms}"
+            )
+        self._width = float(width_ms)
+        self._buckets: Dict[int, List[_Entry]] = {}
+        self._ids: List[int] = []  # min-heap of bucket ids holding entries
+        self._len = 0
+
+    def push(self, entry: _Entry) -> None:
+        """Insert ``entry``; same signature shape as ``heappush(q, e)``."""
+        b = int(entry[0] // self._width)
+        bucket = self._buckets.get(b)
+        if bucket is None:
+            self._buckets[b] = [entry]
+            heapq.heappush(self._ids, b)
+        else:
+            heapq.heappush(bucket, entry)
+        self._len += 1
+
+    def pop(self) -> _Entry:
+        """Remove and return the least ``(time, seq)`` entry."""
+        ids = self._ids
+        buckets = self._buckets
+        while ids:
+            b = ids[0]
+            bucket = buckets.get(b)
+            if not bucket:  # defensively skip a drained id
+                heapq.heappop(ids)
+                buckets.pop(b, None)
+                continue
+            entry = heapq.heappop(bucket)
+            self._len -= 1
+            if not bucket:
+                heapq.heappop(ids)
+                del buckets[b]
+            return entry
+        raise IndexError("pop from an empty calendar queue")
+
+    def head(self) -> Optional[_Entry]:
+        """The least entry without removing it, or ``None`` when empty."""
+        ids = self._ids
+        buckets = self._buckets
+        while ids:
+            b = ids[0]
+            bucket = buckets.get(b)
+            if not bucket:
+                heapq.heappop(ids)
+                buckets.pop(b, None)
+                continue
+            return bucket[0]
+        return None
+
+    def compact(self) -> None:
+        """Drop every cancelled entry and rebuild the buckets in place."""
+        live = [entry for entry in self if not entry[2].cancelled]
+        self._buckets.clear()
+        self._ids.clear()
+        self._len = 0
+        for entry in live:
+            self.push(entry)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self) -> Iterator[_Entry]:
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CalendarQueue entries={self._len} "
+            f"buckets={len(self._buckets)} width={self._width}ms>"
+        )

@@ -440,7 +440,7 @@ class TestCacheBypass:
         )
         assert findings == []
 
-    def test_other_experiment_modules_are_out_of_scope(self):
+    def test_scalability_module_is_in_scope(self):
         findings = run_rule(
             CacheBypassRule,
             """
@@ -451,13 +451,27 @@ class TestCacheBypass:
             """,
             path="src/repro/experiments/scalability.py",
         )
+        assert findings is not None and len(findings) == 1
+
+    def test_other_experiment_modules_are_out_of_scope(self):
+        findings = run_rule(
+            CacheBypassRule,
+            """
+            from .runner import run_experiment
+
+            def drive(config):
+                return run_experiment(config)
+            """,
+            path="src/repro/experiments/cli.py",
+        )
         assert findings is None
 
     def test_shipped_sweep_modules_are_clean(self):
         import repro.experiments.figures as figures
+        import repro.experiments.scalability as scalability
         import repro.experiments.suites as suites
 
-        for module in (figures, suites):
+        for module in (figures, suites, scalability):
             path = Path(module.__file__)
             findings = run_rule(
                 CacheBypassRule, path.read_text(), path=str(path)

@@ -187,3 +187,34 @@ def test_deferred_stats_flush_is_mid_run_invisible():
     assert compiled_stats.by_port == interpreted_stats.by_port
     assert compiled_stats.inter_cluster == interpreted_stats.inter_cluster
     assert compiled_stats.bytes_total == interpreted_stats.bytes_total
+
+
+# --------------------------------------------------------------------- #
+# inline-latency tiers (dense vs block) and the fall-off log
+# --------------------------------------------------------------------- #
+def test_block_table_topologies_stay_on_inline_path():
+    from repro.net.latency import _NODE_TABLE_MAX_NODES
+
+    sim = Simulator(seed=0)
+    topo = uniform_topology(10, (_NODE_TABLE_MAX_NODES // 10) + 1)
+    net = CompiledNetwork(sim, topo, TwoTierLatency(topo, wan_ms=10.0))
+    assert net._inline_latency
+    assert net._lat_table is None  # dense tier skipped above the cap
+    assert net._lat_ctab is not None  # block tier engaged instead
+
+
+def test_custom_latency_falls_off_inline_path_with_log(caplog):
+    import logging
+
+    from repro.net.latency import ConstantLatency
+
+    class Custom(ConstantLatency):
+        def one_way(self, src, dst, rng):
+            return 1.0
+
+    sim = Simulator(seed=0)
+    topo = uniform_topology(2, 2)
+    with caplog.at_level(logging.INFO, logger="repro.compile.network"):
+        net = CompiledNetwork(sim, topo, Custom(1.0))
+    assert not net._inline_latency
+    assert any("falls off" in r.message for r in caplog.records)

@@ -63,6 +63,8 @@ def test_default_deadline_scales_with_workload():
         {"rho": 0.0},
         {"n_cs": 0},
         {"distribution": "pareto"},
+        {"backend": "jit"},
+        {"queue": "fifo"},
     ],
 )
 def test_validation_rejects(changes):

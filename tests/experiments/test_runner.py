@@ -107,3 +107,45 @@ def test_fifo_and_jitter_options_run():
     cfg = ExperimentConfig(rho=6.0, jitter=0.3, fifo=True, **QUICK)
     r = run_experiment(cfg)
     assert r.cs_count == 24
+
+
+def test_queue_and_batch_knobs_do_not_change_results():
+    cfg = ExperimentConfig(rho=6.0, jitter=0.05, **QUICK)
+    base = run_experiment(cfg)
+    for changes in (
+        {"queue": "calendar"},
+        {"batch_delivery": True},
+        {"queue": "calendar", "batch_delivery": True, "backend": "compiled"},
+    ):
+        r = run_experiment(cfg.with_(**changes))
+        assert r.cs_count == base.cs_count
+        assert r.total_messages == base.total_messages
+        assert r.obtaining == base.obtaining, changes
+
+
+def test_large_runs_use_bounded_collector(monkeypatch):
+    # Lower the threshold instead of running a real 1024-app grid.
+    import repro.experiments.runner as runner
+
+    captured = {}
+    real = runner.deploy_workload
+
+    def spy(system, **kw):
+        captured["collector"] = kw.get("collector")
+        return real(system, **kw)
+
+    monkeypatch.setattr(runner, "deploy_workload", spy)
+    cfg = ExperimentConfig(rho=6.0, **QUICK)
+    small = run_experiment(cfg)
+    assert captured["collector"] is None
+
+    monkeypatch.setattr(runner, "LARGE_GRID_NODES", cfg.n_apps)
+    from repro.metrics import BoundedMetricsCollector
+
+    bounded = run_experiment(cfg)
+    assert isinstance(captured["collector"], BoundedMetricsCollector)
+    assert bounded.cs_count == small.cs_count
+    assert bounded.total_messages == small.total_messages
+    assert bounded.obtaining.mean == pytest.approx(
+        small.obtaining.mean, rel=1e-12
+    )

@@ -1,0 +1,111 @@
+"""BoundedMetricsCollector: exact moments, bounded state, determinism."""
+
+import random
+
+import pytest
+
+from repro.metrics import BoundedMetricsCollector, MetricsCollector
+from repro.metrics.records import CSRecord
+
+
+def _records(n, seed=0, clusters=4):
+    rng = random.Random(seed)
+    out = []
+    t = 0.0
+    for i in range(n):
+        req = t
+        grant = req + rng.uniform(0.1, 30.0)
+        rel = grant + rng.uniform(0.5, 5.0)
+        out.append(CSRecord(
+            node=i % (clusters * 5),
+            cluster=i % clusters,
+            requested_at=req,
+            granted_at=grant,
+            released_at=rel,
+        ))
+        t += rng.uniform(0.0, 2.0)
+    return out
+
+
+def _fill(collector, records):
+    for r in records:
+        collector.add(r)
+    return collector
+
+
+def _assert_stats_equal(a, b):
+    # Streaming accumulation sums in insertion order while ``summarize``
+    # uses numpy's pairwise sum, so mean/std can differ in the last few
+    # ulps; everything else must agree exactly.
+    assert a.count == b.count
+    assert a.mean == pytest.approx(b.mean, rel=1e-12)
+    assert a.std == pytest.approx(b.std, rel=1e-9, abs=1e-12)
+    assert a.minimum == b.minimum
+    assert a.maximum == b.maximum
+    assert a.p50 == b.p50
+    assert a.p95 == b.p95
+
+
+def test_below_cap_matches_exact_collector():
+    records = _records(500)
+    full = _fill(MetricsCollector(), records)
+    bounded = _fill(BoundedMetricsCollector(max_records=1000), records)
+    assert bounded.cs_count == full.cs_count
+    assert bounded.records == full.records  # reservoir never engaged
+    _assert_stats_equal(bounded.obtaining_stats(), full.obtaining_stats())
+    full_clusters = full.by_cluster()
+    bounded_clusters = bounded.by_cluster()
+    assert bounded_clusters.keys() == full_clusters.keys()
+    for ci in full_clusters:
+        _assert_stats_equal(bounded_clusters[ci], full_clusters[ci])
+    assert bounded.by_node() == full.by_node()  # inherited: same records
+    assert bounded.completion_time() == full.completion_time()
+    full_fair = full.fairness()
+    for key, value in bounded.fairness().items():
+        assert value == pytest.approx(full_fair[key], rel=1e-12)
+
+
+def test_above_cap_moments_stay_exact_and_state_bounded():
+    cap = 256
+    records = _records(5000)
+    full = _fill(MetricsCollector(), records)
+    bounded = _fill(BoundedMetricsCollector(max_records=cap), records)
+    assert len(bounded.records) == cap  # the reservoir, not the run
+    assert bounded.cs_count == 5000
+    exact = full.obtaining_stats()
+    approx = bounded.obtaining_stats()
+    # Streaming fields are exact; only the percentiles are sampled.
+    assert approx.count == exact.count
+    assert approx.mean == pytest.approx(exact.mean, rel=1e-12)
+    assert approx.std == pytest.approx(exact.std, rel=1e-9)
+    assert approx.minimum == exact.minimum
+    assert approx.maximum == exact.maximum
+    assert approx.p50 == pytest.approx(exact.p50, rel=0.25)
+    assert bounded.completion_time() == full.completion_time()
+    by_cluster = bounded.by_cluster()
+    for ci, exact_c in full.by_cluster().items():
+        assert by_cluster[ci].count == exact_c.count
+        assert by_cluster[ci].mean == pytest.approx(exact_c.mean, rel=1e-12)
+        assert by_cluster[ci].minimum == exact_c.minimum
+        assert by_cluster[ci].maximum == exact_c.maximum
+
+
+def test_reservoir_is_deterministic_for_a_seed():
+    records = _records(3000)
+    a = _fill(BoundedMetricsCollector(max_records=128, seed=7), records)
+    b = _fill(BoundedMetricsCollector(max_records=128, seed=7), records)
+    assert a.records == b.records
+    assert a.obtaining_stats() == b.obtaining_stats()
+
+
+def test_empty_collector_summaries():
+    bounded = BoundedMetricsCollector()
+    assert bounded.cs_count == 0
+    assert bounded.obtaining_stats().count == 0
+    assert bounded.by_cluster() == {}
+    assert bounded.completion_time() == 0.0
+
+
+def test_rejects_nonpositive_cap():
+    with pytest.raises(ValueError):
+        BoundedMetricsCollector(max_records=0)

@@ -1,0 +1,68 @@
+"""Peer-tuple interning: shared peer sets are stored once per system.
+
+On 1k-10k-node grids every peer of a cluster (or of the flat system)
+holds the same peer tuple; ``_intern_peers`` memoizes the canonical
+tuple by identity so N peers share one object instead of N copies —
+and identity hits skip re-validation entirely.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mutex.base import _PEER_TABLES, _PEER_TABLES_MAX, _intern_peers
+from repro.net import ConstantLatency, Network, uniform_topology
+from repro.sim import Simulator
+
+
+class TestInternPeers:
+    def test_same_tuple_instance_is_returned(self):
+        peers = (0, 1, 2, 3)
+        assert _intern_peers(peers) is peers
+        assert _intern_peers(peers) is peers  # identity hit on re-entry
+
+    def test_lists_are_canonicalized(self):
+        out = _intern_peers([3, 1, 2])
+        assert out == (3, 1, 2) and isinstance(out, tuple)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ProtocolError):
+            _intern_peers((0, 1, 1))
+
+    def test_memo_is_bounded(self):
+        _PEER_TABLES.clear()
+        for i in range(_PEER_TABLES_MAX + 10):
+            _intern_peers((i, i + 1))
+        assert len(_PEER_TABLES) <= _PEER_TABLES_MAX
+
+
+class TestPeersSharedAcrossInstances:
+    def test_peers_of_one_instance_alias_one_tuple(self):
+        from repro.mutex import get_algorithm
+
+        sim = Simulator(seed=0)
+        topo = uniform_topology(1, 6)
+        net = Network(sim, topo, ConstantLatency(1.0))
+        cls = get_algorithm("naimi").peer_class
+        nodes = tuple(range(6))
+        peers = [
+            cls(sim, net, i, nodes, "flat", initial_holder=0)
+            for i in nodes
+        ]
+        first = peers[0].peers
+        assert all(p.peers is first for p in peers)
+
+    def test_composition_clusters_share_their_tuples(self):
+        from repro.core import Composition
+
+        sim = Simulator(seed=0)
+        topo = uniform_topology(3, 4)
+        net = Network(sim, topo, ConstantLatency(1.0))
+        comp = Composition(sim, net, topo, intra="naimi", inter="naimi")
+        for node in comp.app_nodes:
+            peer = comp.peer_for(node)
+            cluster = topo.cluster_of(node)
+            sibling = next(
+                comp.peer_for(n) for n in comp.app_nodes
+                if n != node and topo.cluster_of(n) == cluster
+            )
+            assert peer.peers is sibling.peers

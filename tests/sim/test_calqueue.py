@@ -1,0 +1,117 @@
+"""Unit tests for the calendar event queue and the kernel's queue knob.
+
+The contract under test is *exact* ordering: :class:`CalendarQueue` must
+pop the identical ``(time, seq)`` total order as the default tuple heap,
+because ``Simulator(queue="calendar")`` is digest-equivalence-gated
+against ``Simulator(queue="heap")`` (see
+``tests/properties/test_scaleout_equivalence.py`` for the full matrix).
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CalendarQueue, Simulator
+from repro.sim.event import Event
+
+
+def _entry(time: float, seq: int) -> tuple:
+    return (time, seq, Event(time, seq, lambda: None, ()))
+
+
+def _drain(q: CalendarQueue) -> list:
+    out = []
+    while q:
+        out.append(q.pop())
+    return out
+
+
+class TestCalendarQueue:
+    def test_pops_exact_heap_order(self):
+        rng = random.Random(42)
+        entries = [
+            _entry(rng.uniform(0.0, 50.0), seq) for seq in range(500)
+        ]
+        # Same-bucket ties on time, broken by seq, must also agree.
+        entries += [_entry(7.25, seq) for seq in range(500, 520)]
+        rng.shuffle(entries)
+        heap: list = []
+        cal = CalendarQueue()
+        for e in entries:
+            heapq.heappush(heap, e)
+            cal.push(e)
+        expected = [heapq.heappop(heap) for _ in range(len(entries))]
+        assert _drain(cal) == expected
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_head_peeks_without_removing(self):
+        q = CalendarQueue()
+        assert q.head() is None
+        first = _entry(1.0, 0)
+        q.push(_entry(3.0, 1))
+        q.push(first)
+        assert q.head() == first
+        assert len(q) == 2
+        assert q.pop() == first
+
+    def test_len_bool_iter(self):
+        q = CalendarQueue()
+        assert not q and len(q) == 0
+        entries = [_entry(float(i) * 0.4, i) for i in range(7)]
+        for e in entries:
+            q.push(e)
+        assert q and len(q) == 7
+        assert sorted(q) == sorted(entries)
+
+    def test_compact_drops_cancelled(self):
+        q = CalendarQueue()
+        keep = _entry(2.0, 1)
+        drop = _entry(1.0, 0)
+        drop[2].cancelled = True
+        q.push(drop)
+        q.push(keep)
+        q.compact()
+        assert len(q) == 1
+        assert _drain(q) == [keep]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue(width_ms=0.0)
+
+
+class TestKernelQueueKnob:
+    def test_unknown_queue_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(queue="fifo")
+
+    def test_calendar_fires_in_heap_order(self):
+        def trace(sim):
+            fired = []
+            rng = random.Random(7)
+            for i in range(300):
+                sim.schedule_at(rng.uniform(0.0, 20.0), fired.append, i)
+            sim.run()
+            return fired
+
+        assert trace(Simulator(seed=0, queue="calendar")) == trace(
+            Simulator(seed=0, queue="heap")
+        )
+
+    def test_calendar_supports_until_and_cancel(self):
+        sim = Simulator(seed=0, queue="calendar")
+        fired = []
+        sim.schedule_at(1.0, fired.append, "a")
+        handle = sim.schedule_at(2.0, fired.append, "cancelled")
+        sim.schedule_at(3.0, fired.append, "b")
+        sim.schedule_at(9.0, fired.append, "late")
+        handle.cancel()
+        sim.run(until=5.0)
+        assert fired == ["a", "b"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["a", "b", "late"]
