@@ -1,4 +1,4 @@
-"""The repro-specific lint rules (RPR001-RPR006).
+"""The repro-specific lint rules (RPR001-RPR009).
 
 Each rule guards one facet of the determinism / composition-purity
 contract (see ``docs/analysis.md`` for the rationale and the suppression
@@ -23,6 +23,11 @@ RPR008    no hand-written per-kind dispatch inside ``repro.compile`` —
           handler resolution must come from the generated tables
           (``dispatch_table``/``fast_table``), not string-built
           ``getattr``, ``kind ==`` ladders or literal kind→handler maps
+RPR009    compiled-handler equivalence: every ``_fast_on_<kind>`` in
+          ``repro.compile`` must pair (via its base classes) with an
+          interpreted ``_on_<kind>`` handler and emit the identical
+          send-kind effect multiset — fast tables must not drift from
+          the interpreted protocol
 ========  ==========================================================
 
 Rules yield ``(line, col, message)`` triples; the engine attaches paths,
@@ -47,6 +52,7 @@ __all__ = [
     "MutableDefaultRule",
     "CacheBypassRule",
     "HandDispatchRule",
+    "FastHandlerDriftRule",
 ]
 
 Finding = Tuple[int, int, str]
@@ -702,6 +708,119 @@ class HandDispatchRule(Rule):
                     )
 
 
+class FastHandlerDriftRule(Rule):
+    id = "RPR009"
+    summary = (
+        "compiled-handler drift: every _fast_on_<kind> must pair with an "
+        "interpreted _on_<kind> handler (via the compiled class's bases) "
+        "and emit the identical send-kind effect multiset — a fast table "
+        "that drifts from the interpreted protocol silently changes the "
+        "algorithm under the compiled backend"
+    )
+
+    #: mutex-dir path -> interpreted effects keyed by class name,
+    #: shared across the linted compile files of one tree
+    _interp_cache: Dict[str, Dict[str, object]] = {}
+
+    def applies(self, mod: ModuleInfo) -> bool:
+        return mod.module.startswith("repro.compile") and any(
+            isinstance(node, ast.ClassDef)
+            and any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name.startswith("_fast_on_")
+                for stmt in node.body
+            )
+            for node in mod.tree.body
+        )
+
+    def _interp_effects(self, mod: ModuleInfo) -> Dict[str, object]:
+        """Interpreted algorithm effects, keyed by class name, from the
+        ``mutex`` package sibling to this file's ``compile`` package.
+
+        Resolving relative to the linted file (rather than the installed
+        ``repro.mutex``) lets fixture trees carry their own interpreted
+        reference, and guarantees the comparison is against the sources
+        actually sitting next to the fast tables.
+        """
+        from .effects import extract_algorithm_effects, find_algorithm_classes
+
+        mutex_dir = mod.path.resolve().parent.parent / "mutex"
+        key = str(mutex_dir)
+        cached = self._interp_cache.get(key)
+        if cached is None:
+            cached = {}
+            if mutex_dir.is_dir():
+                for _algo, (path, cls) in find_algorithm_classes(
+                    sorted(mutex_dir.glob("*.py"))
+                ).items():
+                    cached[cls.name] = extract_algorithm_effects(path, cls)
+            self._interp_cache[key] = cached
+        return cached
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        from .effects import _format_multiset, extract_fast_effects
+
+        interp_by_class = self._interp_effects(mod)
+        if not interp_by_class:
+            # No interpreted tree next to this compile package — nothing
+            # to drift from (and nothing to certify); stay silent rather
+            # than flagging every fixture that only ships fast tables.
+            return
+        for node in mod.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            fast = extract_fast_effects(mod.path, node)
+            if not fast.handlers:
+                continue
+            paired = [b for b in fast.base_names if b in interp_by_class]
+            if not paired:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"compiled class {node.name} defines fast handlers "
+                    f"{sorted(fast.handled_kinds)} but none of its bases "
+                    f"{list(fast.base_names)} is a known algorithm class "
+                    "— the fast table cannot be equivalence-checked",
+                )
+                continue
+            interp = interp_by_class[paired[0]]
+            for kind in sorted(fast.handled_kinds):
+                fast_handler = fast.handlers[kind]
+                line, col = self._handler_pos(node, fast_handler)
+                interp_handler = interp.handlers.get(kind)  # type: ignore[attr-defined]
+                if interp_handler is None:
+                    yield (
+                        line,
+                        col,
+                        f"{node.name}.{fast_handler} has no interpreted "
+                        f"_on_{kind} counterpart in "
+                        f"{interp.class_name}",  # type: ignore[attr-defined]
+                    )
+                    continue
+                got = fast.emissions(fast_handler)
+                want = interp.emissions(interp_handler)  # type: ignore[attr-defined]
+                if got != want:
+                    yield (
+                        line,
+                        col,
+                        f"{node.name}.{fast_handler} emits "
+                        f"{_format_multiset(got)} but interpreted "
+                        f"{interp.class_name}.{interp_handler} emits "  # type: ignore[attr-defined]
+                        f"{_format_multiset(want)} — send-kind effect "
+                        "multisets must be identical",
+                    )
+
+    @staticmethod
+    def _handler_pos(cls: ast.ClassDef, handler: str) -> Tuple[int, int]:
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == handler
+            ):
+                return stmt.lineno, stmt.col_offset
+        return cls.lineno, cls.col_offset
+
+
 DEFAULT_RULES = (
     WallClockRule,
     StdlibRandomRule,
@@ -711,4 +830,5 @@ DEFAULT_RULES = (
     MutableDefaultRule,
     CacheBypassRule,
     HandDispatchRule,
+    FastHandlerDriftRule,
 )

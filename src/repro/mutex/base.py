@@ -158,6 +158,41 @@ class MutexPeer(Process):
         coordinator consults it in."""
 
     # ------------------------------------------------------------------ #
+    # state fingerprinting (model checker support)
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> Tuple:
+        """Canonical, hashable snapshot of this peer's protocol state.
+
+        Used by the bounded model checker (:mod:`repro.analysis.explore`)
+        to deduplicate explored global states.  The snapshot must be a
+        pure function of protocol state — backend-independent (the
+        interpreted and compiled implementations of one algorithm must
+        fingerprint identically) and free of kernel/transport artefacts
+        such as timestamps or sequence numbers.  Reading it never mutates
+        anything.
+        """
+        return (
+            self.algorithm_name,
+            self.node,
+            self._state.value,
+            *self._fingerprint_state(),
+        )
+
+    def _fingerprint_state(self) -> Tuple:
+        """Algorithm-specific part of :meth:`fingerprint`.
+
+        Subclasses return a flat tuple of hashable values covering every
+        protocol variable that influences future behaviour (token
+        position, queues, sequence counters ...).  Values must be
+        canonical across backends: e.g. numpy integers normalised with
+        ``int()``, dict contents listed in ``self.peers`` order.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the state-"
+            "fingerprint protocol required by repro.analysis.explore"
+        )
+
+    # ------------------------------------------------------------------ #
     # public operations
     # ------------------------------------------------------------------ #
     def request_cs(self) -> None:

@@ -60,6 +60,14 @@ class CentralizedPeer(MutexPeer):
         # relays the information when it notifies.
         return self._client_pending
 
+    def _fingerprint_state(self) -> tuple:
+        return (
+            int(self.server),
+            None if self._busy_with is None else int(self._busy_with),
+            tuple(int(w) for w in self._wait_q),
+            self._client_pending,
+        )
+
     # ------------------------------------------------------------------ #
     # Set on a client when the server reports a waiter behind its CS.
     _client_pending = False

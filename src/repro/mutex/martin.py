@@ -65,6 +65,9 @@ class MartinPeer(MutexPeer):
     def has_pending_request(self) -> bool:
         return self._owe_pred
 
+    def _fingerprint_state(self) -> tuple:
+        return (self._holds_token, self._owe_pred)
+
     # ------------------------------------------------------------------ #
     # requesting
     # ------------------------------------------------------------------ #

@@ -64,6 +64,10 @@ class NaimiTrehelPeer(MutexPeer):
         """Whether this peer is the current root of the last tree."""
         return self.last == self.node
 
+    def _fingerprint_state(self) -> tuple:
+        return (self._holds_token, int(self.last),
+                None if self.next is None else int(self.next))
+
     # ------------------------------------------------------------------ #
     # requesting
     # ------------------------------------------------------------------ #

@@ -85,6 +85,16 @@ class SuzukiKasamiPeer(MutexPeer):
             if j != self.node
         )
 
+    def _fingerprint_state(self) -> tuple:
+        # int() canonicalises across backends: the compiled peer stores
+        # RN/LN as numpy int64 arrays behind dict-like views.
+        rn = tuple(int(self.rn[p]) for p in self.peers)
+        if not self._holds_token:
+            return (False, rn, None, None)
+        assert self.ln is not None and self.queue is not None
+        ln = tuple(int(self.ln[p]) for p in self.peers)
+        return (True, rn, ln, tuple(int(q) for q in self.queue))
+
     # ------------------------------------------------------------------ #
     # requesting
     # ------------------------------------------------------------------ #

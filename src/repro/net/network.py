@@ -120,6 +120,9 @@ class Network:
         # the same gating discipline as ``trace.active_kinds``.
         self._send_taps: Tuple[Callable[[Message], None], ...] = ()
         self._register_hooks: Tuple[Callable[[int, str], None], ...] = ()
+        # Delivery interception (repro.analysis.explore): when set, sends
+        # are captured instead of scheduled — see set_delivery_intercept.
+        self._intercept: Optional[Handler] = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -211,6 +214,36 @@ class Network:
         later)."""
         return tuple(sorted(self._handlers))
 
+    # ------------------------------------------------------------------ #
+    # delivery interception (repro.analysis.explore)
+    # ------------------------------------------------------------------ #
+    def set_delivery_intercept(self, intercept: Optional[Handler]) -> None:
+        """Capture every outbound message instead of scheduling delivery.
+
+        While an interceptor is installed, :meth:`send` stamps the
+        message's ``seq`` and hands it to ``intercept(msg)`` *instead of*
+        sampling a latency and posting a kernel event — the latency RNG
+        is never touched, per-flow FIFO clocks never advance, and no
+        event enters the calendar.  The controlled scheduler of the model
+        checker (:mod:`repro.analysis.explore`) uses this to take
+        ownership of the delivery order: it holds captured messages in
+        per-flow queues and feeds chosen ones back through
+        :meth:`deliver_intercepted`.  Pass ``None`` to restore normal
+        scheduling.  When no interceptor is set this feature costs one
+        ``None`` check per send and is otherwise invisible (digests are
+        unaffected).
+        """
+        self._intercept = intercept
+
+    def deliver_intercepted(self, msg: Message) -> None:
+        """Deliver a previously captured message to its handler, now.
+
+        The counterpart of :meth:`set_delivery_intercept`: runs the exact
+        delivery path (crash checks, trace emission, handler dispatch) at
+        the current simulated instant.
+        """
+        self._deliver(msg)
+
     @property
     def seq_watermark(self) -> int:
         """The sequence number the *next* scheduled delivery will carry.
@@ -290,6 +323,15 @@ class Network:
     def _schedule_delivery(
         self, msg: Message, extra_factor: float, advance_flow: bool = True
     ) -> None:
+        if self._intercept is not None:
+            # Controlled-scheduler mode: stamp the seq (send order is
+            # still meaningful to the captor) and hand the message over
+            # without sampling a latency — the RNG stream stays untouched
+            # so interception is invisible to everything else.
+            msg.seq = self._seq
+            self._seq += 1
+            self._intercept(msg)
+            return
         sim = self.sim
         delay = self.latency.one_way(msg.src, msg.dst, self._rng) * extra_factor
         due = sim._now + delay

@@ -374,6 +374,25 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
 
+    def drain_current(self) -> int:
+        """Fire every event due at exactly the current instant.
+
+        The controlled-scheduler entry point used by the model checker
+        (:mod:`repro.analysis.explore`): zero-delay events posted during
+        a handler run to completion in deterministic ``(time, seq)``
+        order, but the clock never advances — events due strictly later
+        stay in the calendar, so the caller keeps full control over
+        which of them (if any) happens next.  Returns the number of
+        events fired.
+        """
+        fired = 0
+        while True:
+            event = self._peek()
+            if event is None or event.time > self._now:
+                return fired
+            self.step()
+            fired += 1
+
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without firing it."""
         heap = self._heap

@@ -1,0 +1,13 @@
+# Intentionally-drifted fast table (see fixtures/README.md): RPR009
+# must flag every handler below against ../mutex/toy.py.
+
+
+class CompiledToyPeer(ToyPeer):  # noqa: F821 - fixture, never imported
+    # drift 1: interpreted _on_request sends one "token"; this sends two
+    def _fast_on_request(self, msg):
+        self._fsend(self.node, 0, "p", "token", {}, 1)
+        self._fsend(self.node, 0, "p", "token", {}, 1)
+
+    # drift 2: no interpreted _on_grant counterpart exists at all
+    def _fast_on_grant(self, msg):
+        pass

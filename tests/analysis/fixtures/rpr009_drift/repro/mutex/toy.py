@@ -1,0 +1,13 @@
+# A minimal interpreted algorithm: the reference the drifted fast table
+# in ../compile/peers.py is checked against.  Intentionally tiny — only
+# what find_algorithm_classes / extract_algorithm_effects need.
+
+
+class ToyPeer:
+    algorithm_name = "toy"
+
+    def _on_request(self, msg):
+        self._send(0, "token", {})
+
+    def _on_token(self, msg):
+        pass

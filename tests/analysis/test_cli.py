@@ -75,7 +75,7 @@ class TestModes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert out.count("RPR") == 8
+        assert out.count("RPR") == 9
 
     def test_json_format(self, capsys):
         assert main([str(FIXTURES / "bad_tree"), "--format", "json"]) == 1
@@ -91,6 +91,105 @@ class TestModes:
         out = capsys.readouterr().out
         assert "violation(s)" in out
         assert "conformance" in out
+
+    def test_conformance_covers_compiled_fast_tables(self, capsys):
+        assert main(["--conformance"]) == 0
+        assert "compiled class(es)" in capsys.readouterr().out
+
+    def test_rpr009_drift_fixture_fails(self, capsys):
+        assert main([str(FIXTURES / "rpr009_drift")]) == 1
+        out = capsys.readouterr().out
+        assert "RPR009" in out
+        assert "send-kind effect multisets" in out
+
+
+#: the pinned shape of the ``--json`` document — update deliberately,
+#: and bump JSON_SCHEMA_VERSION when you do
+EXPLORE_REPORT_KEYS = {
+    "cell", "scope", "ok", "complete", "states", "transitions",
+    "enabled_total", "sleep_pruned", "schedules_covered", "naive_visits",
+    "reduction_ratio", "max_depth", "state_fingerprint", "violations",
+    "elapsed_s",
+}
+
+
+class TestJsonOutput:
+    def test_check_json_schema(self, capsys):
+        assert main([str(REPO_SRC), "--check", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.analysis"
+        assert doc["version"] == 1
+        assert doc["ok"] is True
+        assert set(doc) == {"schema", "version", "ok", "lint", "conformance"}
+        assert doc["lint"]["ok"] is True
+        conf = doc["conformance"]
+        assert conf["ok"] is True
+        assert {"naimi", "suzuki", "martin"} <= set(conf["algorithms"])
+        assert conf["compiled_classes"]
+        assert conf["findings"] == []
+
+    def test_explore_json_schema(self, capsys):
+        # the crash cell is the fastest in the matrix (~60 states)
+        assert main(["--explore", "--explore-cells", "crash", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"schema", "version", "ok", "explore"}
+        explore_doc = doc["explore"]
+        assert explore_doc["ok"] is True
+        assert explore_doc["counterexamples_written"] == []
+        (cell,) = explore_doc["cells"]
+        assert set(cell) == {
+            "cell", "ok", "backends_agree", "interpreted", "compiled",
+        }
+        assert cell["compiled"] is None  # crash cells are interpreted-only
+        report = cell["interpreted"]
+        assert set(report) == EXPLORE_REPORT_KEYS
+        assert report["complete"] is True
+        assert report["violations"] == []
+        assert report["states"] > 0
+
+
+class TestExploreCli:
+    def test_explore_crash_cell_text(self, capsys):
+        assert main(["--explore", "--explore-cells", "crash"]) == 0
+        out = capsys.readouterr().out
+        assert "crash1" in out
+        assert "— ok" in out
+
+    def test_explore_unknown_cell_is_usage_error(self, capsys):
+        assert main(["--explore", "--explore-cells", "nonexistent"]) == 2
+        assert "no matrix cell matches" in capsys.readouterr().out
+
+    def test_replay_workflow(self, tmp_path, capsys):
+        from repro.analysis.explore import (
+            ExploreScope, Violation, World, write_counterexample,
+        )
+
+        scope = ExploreScope(
+            system="flat", intra="naimi", nodes_per_cluster=2,
+            requesters=(1,),
+        )
+        world = World(scope)
+        schedule = []
+        while world.enabled():
+            schedule.append(world.enabled()[0])
+            world.apply(schedule[-1])
+        ce = tmp_path / "ce.json"
+        trace = tmp_path / "trace.json"
+        write_counterexample(
+            str(ce), scope,
+            Violation(property="safety", message="synthetic",
+                      schedule=tuple(schedule)),
+        )
+        assert main(["--replay", str(ce), "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "replay:" in out and "(initial)" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_replay_mismatched_document_fails(self, tmp_path, capsys):
+        ce = tmp_path / "bogus.json"
+        ce.write_text(json.dumps({"schema": "nope"}))
+        assert main(["--replay", str(ce)]) == 1
+        assert "replay failed" in capsys.readouterr().out
 
 
 def test_module_entry_point_nonzero_on_fixture():

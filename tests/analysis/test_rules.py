@@ -10,6 +10,7 @@ from repro.analysis.rules import (
     DEFAULT_RULES,
     CacheBypassRule,
     CompositionPurityRule,
+    FastHandlerDriftRule,
     HandDispatchRule,
     KernelReentryRule,
     MutableDefaultRule,
@@ -591,9 +592,49 @@ class TestHandDispatch:
 
 
 # --------------------------------------------------------------------- #
+# RPR009 — compiled-handler drift
+# --------------------------------------------------------------------- #
+class TestFastHandlerDrift:
+    DRIFT = Path(__file__).parent / "fixtures" / "rpr009_drift"
+
+    def _run_on(self, path: Path):
+        return run_rule(FastHandlerDriftRule, path.read_text(), path=str(path))
+
+    def test_drift_fixture_is_flagged(self):
+        findings = self._run_on(self.DRIFT / "repro" / "compile" / "peers.py")
+        assert findings is not None and len(findings) == 2
+        messages = sorted(msg for _l, _c, msg in findings)
+        assert "no interpreted _on_grant counterpart" in messages[0]
+        assert "send-kind effect multisets must be identical" in messages[1]
+
+    def test_shipped_fast_tables_are_clean(self):
+        import repro.compile.peers as peers
+
+        path = Path(peers.__file__)
+        findings = self._run_on(path)
+        assert findings == [], f"shipped fast tables drift: {findings}"
+
+    def test_modules_outside_compile_do_not_apply(self):
+        findings = run_rule(
+            FastHandlerDriftRule,
+            "class X:\n    def _fast_on_request(self, m):\n        pass\n",
+            path="src/repro/mutex/frag.py",
+        )
+        assert findings is None
+
+    def test_compile_module_without_fast_handlers_does_not_apply(self):
+        findings = run_rule(
+            FastHandlerDriftRule,
+            "class Y:\n    def helper(self):\n        pass\n",
+            path="src/repro/compile/frag.py",
+        )
+        assert findings is None
+
+
+# --------------------------------------------------------------------- #
 # shared plumbing
 # --------------------------------------------------------------------- #
-def test_default_rules_cover_all_eight_ids():
+def test_default_rules_cover_all_nine_ids():
     assert [cls.id for cls in DEFAULT_RULES] == [
         "RPR001",
         "RPR002",
@@ -603,6 +644,7 @@ def test_default_rules_cover_all_eight_ids():
         "RPR006",
         "RPR007",
         "RPR008",
+        "RPR009",
     ]
     assert all(cls.summary for cls in DEFAULT_RULES)
 
