@@ -39,12 +39,14 @@ simulations itself).
 
 from __future__ import annotations
 
+import io
 import os
 import pickle
+import re
 import tempfile
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .keys import code_fingerprint, config_key
 
@@ -55,6 +57,7 @@ __all__ = [
     "CacheSpec",
     "ExperimentCache",
     "cache_from_env",
+    "canonical_dumps",
     "resolve_cache",
 ]
 
@@ -68,6 +71,40 @@ DEFAULT_MAX_BYTES = 512 * 1024 * 1024
 #: Eviction drains to this fraction of the cap so every put near the
 #: cap does not trigger a fresh directory scan.
 _EVICT_TO = 0.8
+
+#: Path components accepted by the raw blob API (fingerprints and
+#: SHA-256 config keys are hex, but stay permissive for test doubles).
+#: The leading character may not be a dot, so ``.``/``..`` (and hidden
+#: files) are rejected; ``/`` is excluded entirely.
+_SAFE_COMPONENT = re.compile(r"[A-Za-z0-9_-][A-Za-z0-9_.-]{0,127}")
+
+
+class _CanonicalPickler(pickle._Pickler):  # noqa: SLF001 - pure-Python pickler
+    """Pickler with string memoization disabled.
+
+    Ordinary pickling records every string in the memo and emits a
+    back-reference (``BINGET``) when the *same object* reappears, so the
+    byte stream depends on identity sharing — which differs between a
+    result computed in-process (its strings alias the caller's config
+    literals) and the same result computed by a farm worker from an
+    *unpickled* config.  Skipping the memo for strings makes the blob a
+    pure function of the value: equal results serialize to equal bytes
+    no matter which process produced them, which is what lets the farm
+    promise byte-identical results and the content-addressed store
+    deduplicate honestly.
+    """
+
+    def memoize(self, obj: Any) -> None:
+        if type(obj) is str:
+            return
+        super().memoize(obj)
+
+
+def canonical_dumps(obj: Any) -> bytes:
+    """Pickle ``obj`` into identity-independent canonical bytes."""
+    buf = io.BytesIO()
+    _CanonicalPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
 
 
 @dataclass
@@ -102,6 +139,15 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         return replace(self)
 
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-int dict form, for JSON done-markers and farm status."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CacheStats":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected loudly."""
+        return cls(**{k: int(v) for k, v in data.items()})
+
     def format(self) -> str:
         parts = (
             f"{self.hits} hit(s), {self.misses} miss(es), "
@@ -119,17 +165,24 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class CacheSpec:
-    """Picklable description of a cache, for shipping to worker processes."""
+    """Picklable description of a cache, for shipping to worker processes.
+
+    ``fingerprint`` carries the parent's already-computed code
+    fingerprint so each worker process does not re-hash the source tree
+    per chunk; ``None`` recomputes (the pre-farm behaviour).
+    """
 
     cache_dir: str
     max_bytes: int = DEFAULT_MAX_BYTES
     verify_every: int = 0
+    fingerprint: Optional[str] = None
 
     def open(self) -> "ExperimentCache":
         return ExperimentCache(
             cache_dir=self.cache_dir,
             max_bytes=self.max_bytes,
             verify_every=self.verify_every,
+            fingerprint=self.fingerprint,
         )
 
 
@@ -168,6 +221,7 @@ class ExperimentCache:
             cache_dir=str(self.root),
             max_bytes=self.max_bytes,
             verify_every=self.verify_every,
+            fingerprint=self.fingerprint,
         )
 
     def key_for(self, config: Any) -> str:
@@ -215,12 +269,41 @@ class ExperimentCache:
 
     def put(self, config: Any, result: Any) -> None:
         """Store ``result`` atomically; may trigger an LRU eviction pass."""
-        path = self.path_for(config)
+        blob = canonical_dumps({"key": config.cache_key(), "result": result})
+        self.put_blob(self.fingerprint, self.key_for(config), blob)
+
+    # ------------------------------------------------------------------ #
+    # raw blob access (the farm's HTTP cache proxy speaks this layer:
+    # the proxy moves opaque bytes, and the *client* re-checks the
+    # stored canonical key, so a proxy can never launder a wrong blob)
+    # ------------------------------------------------------------------ #
+    def blob_path(self, fingerprint: str, key: str) -> Path:
+        """On-disk path for ``(fingerprint, key)``; validates both parts.
+
+        Both components come off the wire in the proxy case, so they are
+        constrained to hex-ish path-safe tokens — a traversal attempt
+        (``../``, absolute paths) raises instead of escaping the root.
+        """
+        if not _SAFE_COMPONENT.fullmatch(fingerprint):
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        if not _SAFE_COMPONENT.fullmatch(key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / fingerprint / key[:2] / f"{key}.pkl"
+
+    def get_blob(self, fingerprint: str, key: str) -> Optional[bytes]:
+        """The raw stored bytes for an entry, or ``None``.
+
+        Does not count in :attr:`stats` (the proxy's *client* keeps the
+        hit/miss ledger; counting both sides would double-book)."""
+        try:
+            return self.blob_path(fingerprint, key).read_bytes()
+        except OSError:
+            return None
+
+    def put_blob(self, fingerprint: str, key: str, blob: bytes) -> None:
+        """Store raw bytes atomically (same tmp+replace path as ``put``)."""
+        path = self.blob_path(fingerprint, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(
-            {"key": config.cache_key(), "result": result},
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
         fd, tmp_name = tempfile.mkstemp(
             prefix=".tmp-", suffix=".pkl", dir=path.parent
         )
@@ -361,7 +444,10 @@ def resolve_cache(
 
     ``None`` → caching off; an :class:`ExperimentCache` → itself; a
     :class:`CacheSpec` → opened; the string ``"auto"`` → whatever the
-    environment dictates (:func:`cache_from_env`).
+    environment dictates (:func:`cache_from_env`).  Any other object
+    exposing the ``get``/``put``/``stats`` surface (the farm's
+    :class:`~repro.farm.httpcache.HttpCache` tier) passes through
+    unchanged — sweeps only ever duck-type that surface.
     """
     if cache is None:
         return None
@@ -369,8 +455,15 @@ def resolve_cache(
         return cache
     if isinstance(cache, CacheSpec):
         return cache.open()
-    if cache == "auto":
-        return cache_from_env()
+    if isinstance(cache, str):
+        if cache == "auto":
+            return cache_from_env()
+        raise TypeError(
+            f"cache must be None, 'auto', an ExperimentCache or a "
+            f"CacheSpec; got {cache!r}"
+        )
+    if all(hasattr(cache, a) for a in ("get", "put", "stats")):
+        return cache  # duck-typed tier (e.g. the farm's HttpCache)
     raise TypeError(
         f"cache must be None, 'auto', an ExperimentCache or a CacheSpec; "
         f"got {cache!r}"

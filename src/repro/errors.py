@@ -51,6 +51,12 @@ class ConfigurationError(ReproError):
     """An experiment or workload was configured with invalid parameters."""
 
 
+class FarmError(ReproError):
+    """The multi-worker experiment farm failed as a whole: a job's
+    manifest is malformed or missing, every worker died with chunks
+    outstanding, or the farm deadline elapsed before completion."""
+
+
 class RecoveryError(ReproError):
     """The crash-recovery layer could not restore the system (no live
     peer to elect, no standby left for a failover, or an algorithm

@@ -53,12 +53,21 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
         help="re-execute every N-th cache hit and compare against the "
              "stored result (0 = trust hits; implies --cache)",
     )
+    group.add_argument(
+        "--cache-url", metavar="URL", default=None,
+        help="use a farm server's HTTP cache proxy instead of a local "
+             "directory (see docs/farm.md; implies --cache)",
+    )
 
 
-def _cache_from_args(args) -> Optional[ExperimentCache]:
+def _cache_from_args(args):
     """The cache the flags ask for: ``None`` means caching is off."""
     if args.no_cache:
         return None
+    if getattr(args, "cache_url", None):
+        from ..farm.httpcache import HttpCache
+
+        return HttpCache(args.cache_url, verify_every=args.cache_verify)
     if args.cache or args.cache_dir is not None or args.cache_verify:
         return ExperimentCache(
             cache_dir=args.cache_dir, verify_every=args.cache_verify

@@ -133,6 +133,75 @@ def _base_config(scale: FigureScale) -> ExperimentConfig:
     )
 
 
+def _inter_cells(
+    scale: FigureScale,
+) -> List[Tuple[SweepKey, ExperimentConfig]]:
+    """The Fig 4/5 cell grid (labels × rho points), unexecuted."""
+    base = _base_config(scale)
+    cells: List[Tuple[SweepKey, ExperimentConfig]] = []
+    for x in scale.rho_over_n:
+        rho = x * scale.n_apps
+        for inter in ("naimi", "martin", "suzuki"):
+            cells.append((
+                (f"naimi-{inter}", x),
+                base.with_(intra="naimi", inter=inter, rho=rho),
+            ))
+        cells.append((
+            ("naimi (flat)", x),
+            base.with_(system="flat", intra="naimi", rho=rho),
+        ))
+    return cells
+
+
+def _intra_cells(
+    scale: FigureScale,
+) -> List[Tuple[SweepKey, ExperimentConfig]]:
+    """The Fig 6 cell grid (labels × rho points), unexecuted."""
+    base = _base_config(scale)
+    cells: List[Tuple[SweepKey, ExperimentConfig]] = []
+    for x in scale.rho_over_n:
+        rho = x * scale.n_apps
+        for intra in ("naimi", "martin", "suzuki"):
+            cells.append((
+                (f"{intra}-naimi", x),
+                base.with_(intra=intra, inter="naimi", rho=rho),
+            ))
+    return cells
+
+
+#: Which cell grid each figure draws from (Fig 4/5 share the inter
+#: sweep, Fig 6 the intra sweep).
+FIGURE_SWEEPS = {
+    "fig4a": "inter",
+    "fig4b": "inter",
+    "fig5a": "inter",
+    "fig5b": "inter",
+    "fig6a": "intra",
+    "fig6b": "intra",
+}
+
+_CELL_BUILDERS = {"inter": _inter_cells, "intra": _intra_cells}
+
+
+def sweep_configs(kind: str, scale: FigureScale) -> List[ExperimentConfig]:
+    """The exact config batch a sweep executes (cells × seeds, in the
+    order :func:`_run_sweep` submits them).
+
+    This is the farm's submission unit: distributing this list and
+    collecting from the shared store reproduces the sweep results the
+    figure generators read, byte for byte.
+    """
+    cells = _CELL_BUILDERS[kind](scale)
+    return [cfg.with_(seed=seed) for _, cfg in cells for seed in scale.seeds]
+
+
+def figure_configs(
+    figure_id: str, scale: FigureScale
+) -> List[ExperimentConfig]:
+    """The config batch behind one figure (see :data:`FIGURE_SWEEPS`)."""
+    return sweep_configs(FIGURE_SWEEPS[figure_id], scale)
+
+
 def _run_sweep(
     kind: str,
     scale: FigureScale,
@@ -184,20 +253,7 @@ def inter_sweep(
     is set (see :func:`repro.cache.cache_from_env`); pass an
     :class:`~repro.cache.ExperimentCache` to use one explicitly or
     ``None`` to force execution."""
-    base = _base_config(scale)
-    cells: List[Tuple[SweepKey, ExperimentConfig]] = []
-    for x in scale.rho_over_n:
-        rho = x * scale.n_apps
-        for inter in ("naimi", "martin", "suzuki"):
-            cells.append((
-                (f"naimi-{inter}", x),
-                base.with_(intra="naimi", inter=inter, rho=rho),
-            ))
-        cells.append((
-            ("naimi (flat)", x),
-            base.with_(system="flat", intra="naimi", rho=rho),
-        ))
-    return _run_sweep("inter", scale, cells, cache)
+    return _run_sweep("inter", scale, _inter_cells(scale), cache)
 
 
 def intra_sweep(
@@ -205,16 +261,7 @@ def intra_sweep(
 ) -> Sweep:
     """The Fig 6 matrix: inter fixed to Naimi, intra ∈ {Naimi, Martin,
     Suzuki}."""
-    base = _base_config(scale)
-    cells: List[Tuple[SweepKey, ExperimentConfig]] = []
-    for x in scale.rho_over_n:
-        rho = x * scale.n_apps
-        for intra in ("naimi", "martin", "suzuki"):
-            cells.append((
-                (f"{intra}-naimi", x),
-                base.with_(intra=intra, inter="naimi", rho=rho),
-            ))
-    return _run_sweep("intra", scale, cells, cache)
+    return _run_sweep("intra", scale, _intra_cells(scale), cache)
 
 
 def _extract(

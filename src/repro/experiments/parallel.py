@@ -31,9 +31,11 @@ import atexit
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..cache.store import ExperimentCache
+from ..cache.retry import with_retries
+from ..cache.store import CacheStats, ExperimentCache
 from ..errors import ConfigurationError
 from ..metrics.analysis import pooled
 from .config import ExperimentConfig
@@ -100,6 +102,33 @@ def compute_chunksize(n_items: int, workers: int) -> int:
 
 def _run_chunk(configs: List[ExperimentConfig]) -> List[ExperimentResult]:
     return [run_experiment(c) for c in configs]
+
+
+def _run_chunk_cached(
+    configs: List[ExperimentConfig],
+    spec,
+    put_mask: List[bool],
+) -> Tuple[List[ExperimentResult], CacheStats]:
+    """Worker-side chunk executor for cached sweeps.
+
+    Opens the shared store from its picklable spec (fingerprint
+    included, so the source tree is not re-hashed per chunk), runs each
+    configuration, and stores the results the parent marked as misses
+    directly from this process — the puts are what makes a farm chunk
+    idempotent, and the per-worker :class:`CacheStats` ride back with
+    the results so the parent can :meth:`~CacheStats.merge` them into
+    the totals it reports (they used to be silently dropped).
+    Transient store errors retry with backoff rather than failing the
+    whole chunk.
+    """
+    cache = spec.open()
+    results: List[ExperimentResult] = []
+    for config, do_put in zip(configs, put_mask):
+        result = run_experiment(config)
+        results.append(result)
+        if do_put:
+            with_retries(lambda: cache.put(config, result))
+    return results, cache.stats
 
 
 def _effective_workers(max_workers: Optional[int]) -> int:
@@ -190,6 +219,72 @@ def _stream_validated(
                 yield i, run_experiment(configs[i])
 
 
+def _stream_cached_exec(
+    configs: Sequence[ExperimentConfig],
+    put_mask: Sequence[bool],
+    spec,
+    stats_sink: CacheStats,
+    max_workers: Optional[int],
+    chunksize: Optional[int],
+    reuse_pool: bool,
+) -> Iterator[Tuple[int, ExperimentResult, bool]]:
+    """Pool executor for cached sweeps: yields ``(index, result,
+    stored_by_worker)`` triples.
+
+    On the pool path each chunk runs via :func:`_run_chunk_cached`, so
+    the worker itself stores the masked results and its stats are merged
+    into ``stats_sink`` as the chunk completes.  The serial path (and
+    the broken-pool redo) yields ``stored_by_worker=False`` and leaves
+    storing to the caller, which already holds an open cache handle.
+    """
+    if max_workers == 1 or len(configs) == 1:
+        for i, config in enumerate(configs):
+            yield i, run_experiment(config), False
+        return
+
+    done_idx: set = set()
+    try:
+        pool = warm_pool(max_workers) if reuse_pool else ProcessPoolExecutor(
+            max_workers=max_workers
+        )
+        try:
+            size = chunksize or compute_chunksize(
+                len(configs), _effective_workers(max_workers)
+            )
+            futures = {}
+            for start in range(0, len(configs), size):
+                idxs = list(range(start, min(start + size, len(configs))))
+                fut = pool.submit(
+                    _run_chunk_cached,
+                    [configs[i] for i in idxs],
+                    spec,
+                    [put_mask[i] for i in idxs],
+                )
+                futures[fut] = idxs
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in sorted(finished, key=lambda f: futures[f][0]):
+                    idxs = futures[fut]
+                    results, worker_stats = fut.result()
+                    stats_sink.merge(worker_stats)
+                    for i, result in zip(idxs, results):
+                        done_idx.add(i)
+                        yield i, result, put_mask[i]
+        finally:
+            if not reuse_pool:
+                pool.shutdown(wait=False, cancel_futures=True)
+    except _POOL_ERRORS:
+        # Same contract as _stream_validated: anything already yielded
+        # is kept (its chunk's puts and stats landed with it); only the
+        # missing configurations are redone here, stored by the caller.
+        if reuse_pool:
+            shutdown_warm_pool()
+        for i in range(len(configs)):
+            if i not in done_idx:
+                yield i, run_experiment(configs[i]), False
+
+
 def stream_configs_cached(
     configs: Sequence[ExperimentConfig],
     cache: Optional[ExperimentCache],
@@ -233,12 +328,20 @@ def stream_configs_cached(
         return
 
     queued = [configs[i] for i, _ in to_run]
-    for j, result in _stream_validated(
-        queued, max_workers, chunksize, reuse_pool
+    # Misses are stored by the worker that computed them (see
+    # _run_chunk_cached); verification re-runs are not — their fresh
+    # result must pass record_verification before it may replace the
+    # stored entry.  Worker handles never verify on their own.
+    put_mask = [expected is None for _, expected in to_run]
+    worker_spec = replace(cache.spec, verify_every=0)
+    for j, result, stored_by_worker in _stream_cached_exec(
+        queued, put_mask, worker_spec, cache.stats,
+        max_workers, chunksize, reuse_pool,
     ):
         i, expected = to_run[j]
         if expected is None:
-            cache.put(configs[i], result)
+            if not stored_by_worker:
+                cache.put(configs[i], result)
         elif not cache.record_verification(expected, result):
             cache.put(configs[i], result)  # replace the stale entry
         yield i, result

@@ -1,0 +1,351 @@
+"""The thin farm server: job intake, status, results, cache proxy.
+
+``python -m repro.farm serve`` hosts three things over plain HTTP:
+
+* **job intake** — ``POST /v1/jobs`` with a pickled config list creates
+  (or finds — job ids are content-addressed) a lease-file job in the
+  farm directory and returns its id;
+* **a worker fleet** — the server keeps ``--workers`` worker
+  subprocesses alive against the farm directory (respawning any that
+  die, which is also how an operator-injected SIGKILL heals), so
+  submitted jobs execute without any client-side orchestration;
+* **the cache proxy** — ``GET``/``PUT /v1/cache/<fingerprint>/<key>``
+  move raw store blobs for hosts without the shared filesystem
+  (:class:`repro.farm.httpcache.HttpCache` is the client side).
+
+The server is deliberately *thin*: every piece of persistent state
+lives in the farm directory and the content-addressed store, so a
+server restart loses nothing — jobs resume from their done markers and
+warm results stay warm.
+
+Transport is unauthenticated HTTP carrying pickles: bind it to
+loopback or a trusted lab network only (see ``docs/farm.md``).
+
+Every wall-clock read below is host-side fleet bookkeeping, outside
+any simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import subprocess
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..cache.store import ExperimentCache
+from ..experiments.config import ExperimentConfig
+from .distribute import DEFAULT_CHUNK_SIZE, spawn_worker
+from .leases import JobStore
+
+__all__ = ["FarmServer"]
+
+#: Reject request bodies above this size (a config list of millions of
+#: entries is a mistake, not a sweep).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_FLEET_POLL_S = 0.5
+
+
+class FarmServer:
+    """One farm directory + store served over HTTP with a worker fleet."""
+
+    def __init__(
+        self,
+        farm_dir: "str | Path",
+        cache_dir: "str | Path | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lease_timeout_s: float = 5.0,
+        chunk_timeout_s: float = 300.0,
+        verbose: bool = False,
+    ) -> None:
+        self.farm_dir = Path(farm_dir)
+        self.store = JobStore(self.farm_dir)
+        self.cache = ExperimentCache(
+            cache_dir=Path(cache_dir) if cache_dir else self.farm_dir / "cache"
+        )
+        self.chunk_size = chunk_size
+        self.lease_timeout_s = lease_timeout_s
+        self.chunk_timeout_s = chunk_timeout_s
+        self.target_workers = workers
+        self.verbose = verbose
+        self.respawns = 0
+        self._fleet: List["subprocess.Popen[bytes]"] = []
+        self._fleet_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve in background threads (tests and embedding)."""
+        threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        ).start()
+        self._start_fleet()
+
+    def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        self._start_fleet()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        self._stopping.set()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        with self._fleet_lock:
+            fleet, self._fleet = self._fleet, []
+        for proc in fleet:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in fleet:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+
+    # -- fleet --------------------------------------------------------- #
+    def _start_fleet(self) -> None:
+        if self.target_workers <= 0:
+            return
+        with self._fleet_lock:
+            for i in range(self.target_workers):
+                self._fleet.append(self._spawn(f"s{i}"))
+        self._monitor = threading.Thread(
+            target=self._monitor_fleet, daemon=True
+        )
+        self._monitor.start()
+
+    def _spawn(self, tag: str) -> "subprocess.Popen[bytes]":
+        # Persistent stealers: no job pin, no idle exit; the drain
+        # marker (or server shutdown) is their off switch.
+        return spawn_worker(
+            self.farm_dir, job_id=None, tag=tag,
+            exit_when_done=False, idle_exit_s=None,
+        )
+
+    def _monitor_fleet(self) -> None:
+        while not self._stopping.wait(_FLEET_POLL_S):
+            if self.store.draining():
+                continue
+            with self._fleet_lock:
+                alive = [p for p in self._fleet if p.poll() is None]
+                dead = len(self._fleet) - len(alive)
+                for _ in range(dead):
+                    self.respawns += 1
+                    alive.append(self._spawn(f"r{self.respawns}"))
+                self._fleet = alive
+
+    def worker_pids(self) -> List[int]:
+        with self._fleet_lock:
+            return [p.pid for p in self._fleet if p.poll() is None]
+
+    # -- request-side operations --------------------------------------- #
+    def health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "fingerprint": self.cache.fingerprint,
+            "jobs": len(self.store.list_jobs()),
+            "workers": self.worker_pids(),
+            "respawns": self.respawns,
+            "draining": self.store.draining(),
+        }
+
+    def submit(self, configs: List[ExperimentConfig]) -> Dict[str, Any]:
+        for config in configs:
+            if not isinstance(config, ExperimentConfig):
+                raise TypeError(
+                    f"submission must be a list of ExperimentConfig, "
+                    f"got {type(config).__name__}"
+                )
+            config.validate()
+        job = self.store.create_job(
+            configs,
+            cache_spec=self.cache.spec,
+            chunk_size=self.chunk_size,
+            lease_timeout_s=self.lease_timeout_s,
+            chunk_timeout_s=self.chunk_timeout_s,
+        )
+        return job.status()
+
+    def job_results(self, job_id: str) -> Tuple[int, bytes, str]:
+        """(status, body, content_type) for a results fetch.
+
+        202 while chunks are outstanding.  On a completed job whose
+        results were since evicted from the store, the affected chunks
+        are *reopened* (their done markers removed) so the fleet redoes
+        exactly those, and the fetch returns 202 — self-healing instead
+        of a permanent hole.
+        """
+        job = self.store.job(job_id)
+        if not job.exists():
+            return 404, b'{"error": "unknown job"}', "application/json"
+        if not job.is_complete():
+            return (
+                202,
+                json.dumps(job.status()).encode("utf-8"),
+                "application/json",
+            )
+        configs = job.load_configs()
+        results = []
+        missing: List[int] = []
+        for i, config in enumerate(configs):
+            got = self.cache.get(config)
+            if got is None:
+                missing.append(i)
+            else:
+                results.append(got)
+        if missing:
+            chunk_of = {
+                idx: cid
+                for cid, indices in enumerate(job.chunks)
+                for idx in indices
+            }
+            reopened = job.reopen_chunks(sorted({chunk_of[i] for i in missing}))
+            body = json.dumps(
+                {**job.status(), "reopened_chunks": reopened}
+            ).encode("utf-8")
+            return 202, body, "application/json"
+        payload = {
+            "results": results,
+            "stats": job.merged_stats().as_dict(),
+        }
+        return (
+            200,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            "application/octet-stream",
+        )
+
+
+def _make_handler(server: FarmServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing -------------------------------------------------- #
+        def log_message(self, fmt: str, *args: Any) -> None:
+            if server.verbose:  # pragma: no cover - debug aid
+                BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+        def _send(
+            self, status: int, body: bytes,
+            content_type: str = "application/json",
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+            self._send(status, json.dumps(payload).encode("utf-8"))
+
+        def _read_body(self) -> Optional[bytes]:
+            length = int(self.headers.get("Content-Length", "0"))
+            if length > MAX_BODY_BYTES:
+                self._send_json(413, {"error": "body too large"})
+                return None
+            return self.rfile.read(length)
+
+        def _fail(self, status: int, message: str) -> None:
+            self._send_json(status, {"error": message})
+
+        # -- routes ---------------------------------------------------- #
+        def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+            try:
+                parts = [p for p in self.path.split("?")[0].split("/") if p]
+                if parts == ["healthz"]:
+                    self._send_json(200, server.health())
+                elif parts == ["v1", "workers"]:
+                    self._send_json(200, {"pids": server.worker_pids()})
+                elif parts == ["v1", "jobs"]:
+                    self._send_json(200, {
+                        "jobs": [j.status() for j in server.store.list_jobs()]
+                    })
+                elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                    job = server.store.job(parts[2])
+                    if not job.exists():
+                        self._fail(404, "unknown job")
+                    else:
+                        self._send_json(200, job.status())
+                elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                        and parts[3] == "results"):
+                    status, body, ctype = server.job_results(parts[2])
+                    self._send(status, body, ctype)
+                elif len(parts) == 4 and parts[:2] == ["v1", "cache"]:
+                    blob = server.cache.get_blob(parts[2], parts[3])
+                    if blob is None:
+                        self._fail(404, "cache miss")
+                    else:
+                        self._send(200, blob, "application/octet-stream")
+                else:
+                    self._fail(404, f"no route for GET {self.path}")
+            except ValueError as exc:
+                self._fail(400, str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                self._fail(500, f"{type(exc).__name__}: {exc}")
+
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                parts = [p for p in self.path.split("?")[0].split("/") if p]
+                if parts == ["v1", "jobs"]:
+                    body = self._read_body()
+                    if body is None:
+                        return
+                    try:
+                        configs = pickle.loads(body)
+                    except Exception as exc:
+                        self._fail(400, f"unreadable submission: {exc}")
+                        return
+                    if not isinstance(configs, list) or not configs:
+                        self._fail(400, "submission must be a non-empty list")
+                        return
+                    self._send_json(200, server.submit(configs))
+                elif parts == ["v1", "drain"]:
+                    server.store.request_drain()
+                    self._send_json(200, {"draining": True})
+                else:
+                    self._fail(404, f"no route for POST {self.path}")
+            except (TypeError, ValueError) as exc:
+                self._fail(400, str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                self._fail(500, f"{type(exc).__name__}: {exc}")
+
+        def do_PUT(self) -> None:  # noqa: N802
+            try:
+                parts = [p for p in self.path.split("?")[0].split("/") if p]
+                if len(parts) == 4 and parts[:2] == ["v1", "cache"]:
+                    body = self._read_body()
+                    if body is None:
+                        return
+                    server.cache.put_blob(parts[2], parts[3], body)
+                    self._send_json(200, {"stored": True})
+                else:
+                    self._fail(404, f"no route for PUT {self.path}")
+            except ValueError as exc:
+                self._fail(400, str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                self._fail(500, f"{type(exc).__name__}: {exc}")
+
+    return Handler

@@ -1,0 +1,186 @@
+"""The farm worker: claim a chunk, run it, store results, repeat.
+
+One worker process serves *every* job in the farm directory — idle
+workers steal pending chunks from whichever job has them, so a fleet
+started for one sweep naturally absorbs the next one submitted.
+
+Per chunk the worker:
+
+1. claims the lease (:meth:`JobState.claim`), starting a heartbeat
+   thread that refreshes the lease mtime — but only while the chunk is
+   inside its ``chunk_timeout_s`` budget.  A worker that hangs inside a
+   single simulation stops heartbeating when the budget lapses, the
+   lease goes stale, and a peer re-claims the chunk (duplicated compute
+   is safe: results are idempotent puts into the content-addressed
+   store);
+2. for each config: consult the shared cache, run the experiment on a
+   miss, and put the result back *from this process* with
+   retry-with-backoff on transient store errors;
+3. publishes the completion marker carrying the per-chunk
+   :class:`CacheStats`, then drops the lease.
+
+Wall-clock reads here are all host-side lease/timeout bookkeeping —
+nothing below ever feeds simulated time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..cache.retry import with_retries
+from ..experiments.runner import run_experiment
+from .leases import JobState, JobStore
+
+__all__ = ["run_one_chunk", "work_loop", "worker_id_for_process"]
+
+#: Environment knob (milliseconds) slowing each config down; used by the
+#: fault-injection tests to hold a worker mid-chunk long enough to be
+#: SIGKILLed deterministically.  Unset or 0 in real deployments.
+SLOW_MS_ENV = "REPRO_FARM_SLOW_MS"
+
+
+def worker_id_for_process(tag: str = "") -> str:
+    """A farm-unique, path-safe worker id for this process."""
+    base = f"w{os.getpid()}"
+    if tag:
+        safe = "".join(c for c in tag if c.isalnum() or c in "_-")
+        base = f"{safe}-{base}"
+    return base
+
+
+class _Heartbeat(threading.Thread):
+    """Refreshes the chunk lease until stopped, the budget lapses, or
+    the lease is lost to a takeover."""
+
+    def __init__(
+        self, job: JobState, chunk_id: int, worker_id: str, budget_s: float
+    ) -> None:
+        super().__init__(daemon=True)
+        self.job = job
+        self.chunk_id = chunk_id
+        self.worker_id = worker_id
+        self.budget_s = budget_s
+        self.interval_s = max(0.05, job.lease_timeout_s / 4.0)
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        deadline = time.monotonic() + self.budget_s  # repro: allow[RPR001] host-side chunk budget, outside any simulation
+        while not self.stop_event.wait(self.interval_s):
+            if time.monotonic() > deadline:  # repro: allow[RPR001] host-side chunk budget, outside any simulation
+                return  # stop renewing: let a peer steal the chunk
+            if not self.job.heartbeat(self.chunk_id, self.worker_id):
+                return
+
+    def stop(self) -> None:
+        self.stop_event.set()
+        self.join(timeout=2.0)
+
+
+def _slow_ms() -> float:
+    raw = os.environ.get(SLOW_MS_ENV, "")
+    try:
+        return float(raw) if raw else 0.0
+    except ValueError:
+        return 0.0
+
+
+def run_one_chunk(
+    job: JobState, chunk_id: int, worker_id: str
+) -> bool:
+    """Execute one claimed chunk; returns whether it completed.
+
+    ``False`` means the chunk budget lapsed mid-chunk: the lease is
+    released (results computed so far are already in the store) and a
+    peer finishes the remainder.
+    """
+    configs = job.load_configs()
+    indices = job.chunks[chunk_id]
+    cache = job.cache_spec().open()  # fresh handle => per-chunk stats
+    budget_s = job.chunk_timeout_s
+    heartbeat = _Heartbeat(job, chunk_id, worker_id, budget_s)
+    heartbeat.start()
+    deadline = time.monotonic() + budget_s  # repro: allow[RPR001] host-side chunk budget, outside any simulation
+    slow_ms = _slow_ms()
+    try:
+        for idx in indices:
+            if time.monotonic() > deadline:  # repro: allow[RPR001] host-side chunk budget, outside any simulation
+                job.release(chunk_id, worker_id)
+                return False
+            config = configs[idx]
+            if slow_ms:
+                time.sleep(slow_ms / 1000.0)
+            cached = cache.get(config)
+            if cached is None:
+                result = run_experiment(config)
+                with_retries(lambda: cache.put(config, result))
+        job.complete(chunk_id, worker_id, cache.stats)
+        return True
+    finally:
+        heartbeat.stop()
+
+
+def work_loop(
+    farm_dir: "str | os.PathLike[str]",
+    worker_id: Optional[str] = None,
+    job_id: Optional[str] = None,
+    poll_s: float = 0.2,
+    idle_exit_s: Optional[float] = None,
+    max_chunks: Optional[int] = None,
+    exit_when_done: bool = False,
+) -> Dict[str, Any]:
+    """Run chunks until drained, idle-expired, or out of work.
+
+    * ``job_id`` pins the worker to one job; otherwise it steals work
+      from every job in the farm directory (lowest job id first).
+    * ``idle_exit_s`` exits after that long with nothing claimable;
+      ``None`` polls forever (server-managed fleets — the drain marker
+      is the off switch).
+    * ``exit_when_done`` exits once the pinned job (or every known job)
+      is complete — the distributor uses this for one-shot fleets.
+
+    Returns a small summary dict (chunks completed/abandoned) for the
+    CLI to print.
+    """
+    store = JobStore(farm_dir)
+    me = worker_id or worker_id_for_process()
+    completed = 0
+    abandoned = 0
+    idle_since: Optional[float] = None
+    while True:
+        if store.draining():
+            break
+        jobs: List[JobState]
+        if job_id is not None:
+            job = store.job(job_id)
+            jobs = [job] if job.exists() else []
+        else:
+            jobs = store.list_jobs()
+        claimed = False
+        for job in jobs:
+            chunk_id = job.claim(me)
+            if chunk_id is None:
+                continue
+            claimed = True
+            idle_since = None
+            if run_one_chunk(job, chunk_id, me):
+                completed += 1
+            else:
+                abandoned += 1
+            break  # rescan: an earlier job may have opened up
+        if claimed:
+            if max_chunks is not None and completed >= max_chunks:
+                break
+            continue
+        if exit_when_done and jobs and all(j.is_complete() for j in jobs):
+            break
+        if idle_exit_s is not None:
+            now = time.monotonic()  # repro: allow[RPR001] host-side idle timer, outside any simulation
+            if idle_since is None:
+                idle_since = now
+            elif now - idle_since > idle_exit_s:
+                break
+        time.sleep(poll_s)
+    return {"worker": me, "completed": completed, "abandoned": abandoned}

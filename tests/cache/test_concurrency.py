@@ -1,0 +1,92 @@
+"""Store concurrency: LRU eviction racing verify-sampling and puts.
+
+Four processes sweep the same config batch against one undersized store
+directory, so puts, verification re-runs, and eviction passes interleave
+freely.  The store must come out of the race with zero corrupt entries
+— a reader sees a complete blob or a miss, never a torn one — and each
+process's ledger must conserve lookups (``hits + misses`` equals the
+configs it swept, eviction or not).
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.cache.store import CacheSpec, ExperimentCache
+from repro.experiments import ExperimentConfig, run_configs_cached
+
+CFG = ExperimentConfig(n_clusters=2, apps_per_cluster=2, n_cs=3, rho=4.0,
+                       platform="two-tier")
+CONFIGS = [CFG.with_(seed=s) for s in range(8)]
+
+#: Small enough that the batch overflows the cap and every process
+#: triggers eviction passes mid-race (quick-scale blobs are ~2 KiB).
+TINY_CAP = 8 * 1024
+
+ROUNDS = 2
+
+
+def _racing_sweep(spec: CacheSpec) -> dict:
+    """One process: repeated sweeps against the shared, undersized store."""
+    cache = spec.open()
+    totals = []
+    for _ in range(ROUNDS):
+        results = run_configs_cached(CONFIGS, cache, max_workers=1)
+        totals.append([r.total_messages for r in results])
+    return {
+        "totals": totals,
+        "stats": cache.stats.as_dict(),
+    }
+
+
+def test_eviction_verify_put_race_leaves_no_corruption(tmp_path):
+    shared = tmp_path / "shared"
+    spec = CacheSpec(
+        cache_dir=str(shared), max_bytes=TINY_CAP, verify_every=2
+    )
+    # materialise the fingerprint once so every process agrees cheaply
+    spec = spec.open().spec
+
+    try:
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(_racing_sweep, spec) for _ in range(4)]
+            outcomes = [f.result(timeout=180) for f in futures]
+    except OSError:
+        pytest.skip("platform cannot spawn worker processes")
+
+    expected = [r.total_messages
+                for r in run_configs_cached(CONFIGS, None, max_workers=1)]
+    total_lookups = 0
+    for outcome in outcomes:
+        stats = outcome["stats"]
+        # zero corrupt entries observed, and verification never tripped
+        assert stats["corrupt"] == 0
+        assert stats["verify_failures"] == 0
+        # lookups conserved: every config is looked up exactly once per
+        # sweep, whether the entry survived eviction or not
+        assert stats["hits"] + stats["misses"] == len(CONFIGS) * ROUNDS
+        total_lookups += stats["hits"] + stats["misses"]
+        # and the results themselves never drifted
+        for totals in outcome["totals"]:
+            assert totals == expected
+    assert total_lookups == 4 * len(CONFIGS) * ROUNDS
+
+    # -- the store itself is left fully readable ----------------------- #
+    reader = spec.open()
+    blobs = list(shared.rglob("*.pkl"))
+    assert blobs, "eviction emptied the store entirely"
+    assert reader.total_bytes() <= TINY_CAP
+    for path in blobs:
+        payload = pickle.loads(path.read_bytes())  # raises if torn
+        assert {"key", "result"} <= set(payload)
+
+    # post-race reads are hits-or-recomputes, never corruption
+    fresh = ExperimentCache(
+        cache_dir=shared, max_bytes=TINY_CAP, verify_every=2
+    )
+    post = run_configs_cached(CONFIGS, fresh, max_workers=1)
+    assert [r.total_messages for r in post] == expected
+    assert fresh.stats.corrupt == 0

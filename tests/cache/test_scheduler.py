@@ -161,3 +161,39 @@ class TestConcurrentSharedCache:
         b = run_configs_cached(CONFIGS, cache_b, max_workers=2)
         assert a == b
         assert cache_b.stats.hits == len(CONFIGS)  # b reused a's entries
+
+
+# --------------------------------------------------------------------- #
+# worker-side stats plumbing (regression: pool-path stats were dropped)
+# --------------------------------------------------------------------- #
+class TestPoolPathWorkerStats:
+    def test_pool_misses_are_stored_and_counted_by_workers(
+        self, cache, monkeypatch
+    ):
+        try:
+            with ProcessPoolExecutor(max_workers=2) as probe:
+                probe.submit(int).result(timeout=60)
+        except OSError:
+            pytest.skip("platform cannot spawn worker processes")
+
+        parent_puts = []
+        original_put = cache.put
+        monkeypatch.setattr(
+            cache, "put",
+            lambda cfg, res: (parent_puts.append(cfg), original_put(cfg, res)),
+        )
+        got = run_configs_cached(CONFIGS, cache, max_workers=2)
+        assert got == [run_experiment(c) for c in CONFIGS]
+        # the pool workers put their own misses; the parent merges their
+        # per-chunk stats instead of dropping them
+        assert parent_puts == []
+        assert cache.stats.stores == len(CONFIGS)
+        assert cache.stats.misses == len(CONFIGS)
+        assert cache.stats.hits == 0
+
+    def test_warm_pool_sweep_counts_hits_parent_side(self, cache):
+        run_configs_cached(CONFIGS, cache, max_workers=1)
+        before = cache.stats.snapshot()
+        run_configs_cached(CONFIGS, cache, max_workers=2)
+        assert cache.stats.hits - before.hits == len(CONFIGS)
+        assert cache.stats.stores == before.stores  # nothing recomputed

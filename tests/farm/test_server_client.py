@@ -1,0 +1,176 @@
+"""The thin server, its client, and the HTTP cache tier end to end."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cache.store import ExperimentCache, canonical_dumps
+from repro.errors import FarmError
+from repro.experiments import ExperimentConfig, run_configs_cached, run_experiment
+from repro.farm import FarmClient, FarmServer, HttpCache, run_configs_farm
+from repro.farm.httpcache import HttpCacheSpec
+from repro.farm.worker import work_loop
+
+CFG = ExperimentConfig(n_clusters=2, apps_per_cluster=2, n_cs=3, rho=4.0,
+                       platform="two-tier")
+CONFIGS = [CFG.with_(seed=s) for s in range(4)]
+
+
+@pytest.fixture
+def server(tmp_path):
+    # workers=0: tests drive the fleet themselves for determinism
+    srv = FarmServer(farm_dir=tmp_path / "farm", workers=0)
+    srv.start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    return FarmClient(server.url, timeout_s=10.0)
+
+
+def _drive_workers(server, job_id, n=2):
+    threads = [
+        threading.Thread(
+            target=work_loop,
+            kwargs=dict(
+                farm_dir=server.farm_dir, worker_id=f"t{i}", job_id=job_id,
+                poll_s=0.02, exit_when_done=True,
+            ),
+            daemon=True,
+        )
+        for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+
+
+class TestServerBasics:
+    def test_health(self, client):
+        health = client.health()
+        assert health["ok"]
+        assert health["jobs"] == 0
+        assert health["workers"] == []
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(FarmError):
+            client.status("feedfacefeedface")
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(FarmError):
+            client._json(*client._retrying("GET", "/nope"), "nope")
+
+    def test_malformed_submission_is_rejected(self, client):
+        status, _ = client._retrying("POST", "/v1/jobs", b"not a pickle")
+        assert status == 400
+        status, _ = client._retrying(
+            "POST", "/v1/jobs",
+            canonical_dumps(["not a config"]),
+        )
+        assert status == 400
+
+
+class TestSubmitFetch:
+    def test_submit_drive_fetch(self, server, client, tmp_path):
+        job = client.submit(CONFIGS)
+        assert not job["complete"]
+        assert client.try_fetch(job["job_id"]) is None  # still running
+
+        _drive_workers(server, job["job_id"])
+
+        status = client.status(job["job_id"])
+        assert status["complete"]
+        results, stats = client.fetch(job["job_id"], poll_s=0.05,
+                                      deadline_s=60.0)
+        serial = run_configs_cached(
+            CONFIGS, ExperimentCache(cache_dir=tmp_path / "serial"),
+            max_workers=1,
+        )
+        assert [canonical_dumps(r) for r in results] == \
+            [canonical_dumps(r) for r in serial]
+        assert stats.hits + stats.misses == len(CONFIGS)
+
+    def test_resubmission_converges_on_same_job(self, server, client):
+        a = client.submit(CONFIGS)
+        b = client.submit(CONFIGS)
+        assert a["job_id"] == b["job_id"]
+
+    def test_drain_endpoint(self, server, client):
+        client.drain()
+        assert server.store.draining()
+        # a drained farm's workers exit immediately
+        summary = work_loop(server.farm_dir, worker_id="t0", poll_s=0.01)
+        assert summary["completed"] == 0
+
+
+class TestCacheProxy:
+    def test_http_cache_round_trip(self, server):
+        cache = HttpCache(server.url, timeout_s=10.0)
+        config = CONFIGS[0]
+        assert cache.get(config) is None
+        assert cache.stats.misses == 1
+
+        result = run_experiment(config)
+        cache.put(config, result)
+        assert cache.stats.stores == 1
+        assert cache.put_failures == 0
+
+        got = cache.get(config)
+        assert canonical_dumps(got) == canonical_dumps(result)
+        assert cache.stats.hits == 1
+
+        # the blob is the same canonical pickle the fs store writes, so
+        # a shared-fs worker and an HTTP worker interoperate
+        fs_view = server.cache.get(config)
+        assert canonical_dumps(fs_view) == canonical_dumps(result)
+
+    def test_client_rejects_laundered_blob(self, server):
+        cache = HttpCache(server.url, timeout_s=10.0)
+        result = run_experiment(CONFIGS[0])
+        # store CONFIGS[0]'s result under CONFIGS[1]'s key: the embedded
+        # canonical key no longer matches, so the client discards it
+        blob = canonical_dumps(
+            {"key": CONFIGS[0].cache_key(), "result": result}
+        )
+        server.cache.put_blob(
+            cache.fingerprint, cache.key_for(CONFIGS[1]), blob
+        )
+        assert cache.get(CONFIGS[1]) is None
+        assert cache.stats.corrupt == 1
+
+    def test_traversal_attempts_are_rejected(self, client):
+        status, _ = client._retrying("GET", "/v1/cache/../../etc/key")
+        assert status in (400, 404)
+        status, _ = client._retrying("PUT", "/v1/cache/fp/..", b"x")
+        assert status == 400
+
+    def test_unreachable_proxy_degrades_to_miss(self):
+        cache = HttpCache("http://127.0.0.1:9", timeout_s=0.2, attempts=2)
+        assert cache.get(CONFIGS[0]) is None
+        assert cache.stats.misses == 1
+        cache.put(CONFIGS[0], run_experiment(CONFIGS[0]))
+        assert cache.put_failures == 1
+        assert cache.stats.stores == 0
+
+
+class TestFarmOverHttpTier:
+    def test_inline_farm_with_http_cache(self, server, tmp_path):
+        spec = HttpCacheSpec(
+            url=server.url, fingerprint=server.cache.fingerprint
+        )
+        report = run_configs_farm(
+            CONFIGS, cache=spec, num_workers=2,
+            farm_dir=tmp_path / "farm2", spawn=False, deadline_s=120.0,
+        )
+        serial = run_configs_cached(
+            CONFIGS, ExperimentCache(cache_dir=tmp_path / "serial2"),
+            max_workers=1,
+        )
+        assert [canonical_dumps(r) for r in report.results] == \
+            [canonical_dumps(r) for r in serial]
+        assert report.worker_stats.misses == len(CONFIGS)

@@ -10,6 +10,7 @@ from repro import errors
 from repro.errors import (
     CompositionError,
     ConfigurationError,
+    FarmError,
     LivenessViolation,
     NetworkError,
     ProtocolError,
@@ -32,6 +33,7 @@ ALL_ERRORS = [
     LivenessViolation,
     ConfigurationError,
     RecoveryError,
+    FarmError,
 ]
 
 
