@@ -18,9 +18,13 @@ from .harness import (  # noqa: F401
     SCENARIOS,
     check_memory_budget,
     check_regression,
+    format_history,
+    history_rows,
     latest_bench_file,
     load_report,
     machine_score,
+    machine_score_probes,
+    probe_spread,
     run_suite,
     write_report,
 )

@@ -9,6 +9,7 @@ Usage (from the repository root)::
     python scripts/run_bench.py --check benchmarks/results/BENCH_20260807T000000Z.json --threshold 0.2
     python scripts/run_bench.py --out /tmp/b.json  # write the report elsewhere
     python scripts/run_bench.py --no-write       # measure only, e.g. while iterating
+    python scripts/run_bench.py --history        # events/s trajectory across all committed reports
 
 The regression gate normalizes events/sec by each report's
 ``machine_score`` so reports from different machines stay comparable; see
@@ -32,11 +33,24 @@ from benchmarks.perf import (  # noqa: E402
     SCENARIOS,
     check_memory_budget,
     check_regression,
+    format_history,
+    history_rows,
     latest_bench_file,
     load_report,
     machine_score,
+    machine_score_probes,
+    probe_spread,
     run_suite,
     write_report,
+)
+
+#: Digest-equality gate: each pair is (serial twin, variant leg); any
+#: divergence means the variant is no longer bit-identical and its
+#: speedup number is meaningless.
+DIGEST_PAIRS = (
+    ("fig4_composition_interpreted", "fig4_composition_compiled"),
+    ("fig4_composition_interpreted", "fig4_composition_horizon"),
+    ("fig4_twotier_1k", "fig4_twotier_1k_horizon"),
 )
 
 
@@ -62,12 +76,22 @@ def main(argv=None) -> int:
                              "(default: benchmarks/results/)")
     parser.add_argument("--no-write", action="store_true",
                         help="do not write a benchmark report")
+    parser.add_argument("--history", action="store_true",
+                        help="print the events/s trajectory across every "
+                             "committed BENCH_*.json and exit")
     args = parser.parse_args(argv)
+
+    if args.history:
+        print(format_history(history_rows(ROOT), threshold=args.threshold))
+        return 0
 
     mode = "full" if args.full else "quick"
     print(f"# benchmark suite ({mode} mode, repeats={args.repeats})")
-    score = machine_score()
-    print(f"machine_score: {score:,.0f} ops/s")
+    probes = machine_score_probes()
+    score = machine_score(probes)
+    spread = probe_spread(probes)
+    print(f"machine_score: {score:,.0f} ops/s "
+          f"(median of {len(probes)} probes, spread {spread:.1%})")
     results = run_suite(quick=not args.full, repeats=args.repeats,
                         scenarios=args.scenario)
 
@@ -80,20 +104,23 @@ def main(argv=None) -> int:
         print(f"{name:<{width}}  {r['events']:>9,}  {r['events_per_s']:>11,.0f}  "
               f"{r['messages_per_s']:>11,.0f}  {r['wall_s']:>8.3f}")
 
-    # Backend-equivalence gate: the tracked fig4 pair carries the
-    # event-stream digest of each backend leg; any divergence means the
-    # compiled backend is no longer bit-identical and the speedup number
-    # is meaningless — fail before writing/checking anything else.
-    interp = results.get("fig4_composition_interpreted")
-    comp = results.get("fig4_composition_compiled")
-    if interp and comp:
-        if interp["digest"] != comp["digest"]:
-            print("backend digest gate: FAIL — compiled diverged from "
-                  "interpreted")
-            print(f"  interpreted: {interp['digest']}")
-            print(f"  compiled   : {comp['digest']}")
+    # Equivalence gate: each tracked pair carries the event-stream
+    # digest of both legs; any divergence means the variant (compiled
+    # dispatch, horizon windows) is no longer bit-identical and its
+    # speedup number is meaningless — fail before writing anything else.
+    for serial_name, variant_name in DIGEST_PAIRS:
+        serial = results.get(serial_name)
+        variant = results.get(variant_name)
+        if not (serial and variant):
+            continue
+        if serial["digest"] != variant["digest"]:
+            print(f"digest gate: FAIL — {variant_name} diverged from "
+                  f"{serial_name}")
+            print(f"  {serial_name}: {serial['digest']}")
+            print(f"  {variant_name}: {variant['digest']}")
             return 1
-        print(f"backend digest gate: ok ({str(interp['digest'])[:16]}...)")
+        print(f"digest gate ({variant_name} vs {serial_name}): "
+              f"ok ({str(serial['digest'])[:16]}...)")
 
     # Memory gauge: the scale-out scenarios carry a peak-RSS reading and
     # an absolute budget; a breach means O(N) memory regressed.
@@ -110,7 +137,8 @@ def main(argv=None) -> int:
 
     written = None
     if not args.no_write:
-        written = write_report(results, mode, ROOT, score=score, out=args.out)
+        written = write_report(results, mode, ROOT, score=score,
+                               out=args.out, spread=spread)
         print(f"wrote {os.path.relpath(written, ROOT)}")
 
     if args.check:
@@ -122,7 +150,8 @@ def main(argv=None) -> int:
                       "gate skipped")
                 return 0
         baseline = load_report(base_path)
-        current = {"machine_score": score, "scenarios": results}
+        current = {"machine_score": score, "machine_score_spread": spread,
+                   "scenarios": results}
         failures = check_regression(baseline, current, args.threshold)
         print(f"regression gate vs {os.path.basename(base_path)} "
               f"(threshold {args.threshold:.0%}):", end=" ")

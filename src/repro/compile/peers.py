@@ -508,17 +508,12 @@ class CompiledApplicationProcess(ApplicationProcess):
     _think_i: int = 0
 
     def _bind_workload(self) -> None:
-        # Same immutable-for-the-run aliases as CompiledNetwork: the
-        # kernel's queue identity and tie salt never change after init.
-        # A calendar queue is pushed through its method (`_ev_heap is
-        # None` selects the branch at the push sites).
-        heap_obj = self.sim._heap
-        if type(heap_obj) is list:
-            self._ev_heap = heap_obj
-            self._ev_cal = None
-        else:
-            self._ev_heap = None
-            self._ev_cal = heap_obj
+        # The tie salt is immutable for the run and safe to cache.  The
+        # queue is NOT cached (unlike CompiledNetwork's aliases): the
+        # horizon scheduler swaps a window façade into ``sim._heap``
+        # mid-run, and a stale alias here would push timers past the
+        # open window — the push sites read ``sim._heap`` per call and
+        # branch on its type instead (one extra load per timer).
         self._ev_salt = self.sim._tie_salt
         if self.distribution == "exponential" and self.beta > 0.0:
             n = self.n_cs - self.completed
@@ -563,11 +558,11 @@ class CompiledApplicationProcess(ApplicationProcess):
         salt = self._ev_salt
         if salt is not None:
             seq = _mix64(seq ^ salt)
-        heap = self._ev_heap
-        if heap is not None:
+        heap = sim._heap
+        if type(heap) is list:
             heappush(heap, (due, seq, event))
-        else:
-            self._ev_cal.push((due, seq, event))
+        else:  # CalendarQueue or the horizon window façade
+            heap.push((due, seq, event))
         sim._seq += 1
 
     def _release(self) -> None:
@@ -611,11 +606,11 @@ class CompiledApplicationProcess(ApplicationProcess):
             salt = self._ev_salt
             if salt is not None:
                 seq = _mix64(seq ^ salt)
-            heap = self._ev_heap
-            if heap is not None:
+            heap = sim._heap
+            if type(heap) is list:
                 heappush(heap, (due, seq, event))
-            else:
-                self._ev_cal.push((due, seq, event))
+            else:  # CalendarQueue or the horizon window façade
+                heap.push((due, seq, event))
             sim._seq += 1
         elif self.on_done is not None:
             self.on_done(self)

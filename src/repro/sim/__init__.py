@@ -15,6 +15,7 @@ Public surface:
 
 from .calqueue import CalendarQueue
 from .event import Event, EventHandle
+from .horizon import HorizonScheduler, LookaheadPlan, derive_plan
 from .kernel import Simulator
 from .process import Process
 from .rng import RngRegistry, stable_hash
@@ -24,6 +25,9 @@ __all__ = [
     "CalendarQueue",
     "Event",
     "EventHandle",
+    "HorizonScheduler",
+    "LookaheadPlan",
+    "derive_plan",
     "Simulator",
     "Process",
     "RngRegistry",

@@ -1,0 +1,464 @@
+"""Conservative lookahead-parallel execution (horizon batching).
+
+On a cluster-structured grid, any message between two clusters takes at
+least the latency model's ``min_delay(src_cluster, dst_cluster)`` to
+arrive.  The classic conservative-simulation observation (Chandy-Misra
+lookahead) follows: starting a window at the next event's time ``t``,
+every event the simulation can *create* during ``[t, t + L)`` — where
+``L`` is the minimum inter-cluster lookahead — either falls inside the
+window (intra-cluster traffic, zero-delay callbacks) or lands at or
+beyond the horizon.  The window's population is therefore *closed*: it
+can be extracted from the global calendar once, drained to completion,
+and only then reconciled with the global structure.
+
+:class:`HorizonScheduler` exploits this without changing a single event
+key.  Per window it
+
+* bulk-extracts every entry due before the horizon from the global
+  queue (whole buckets at a time on the calendar queue — the win that
+  motivates :meth:`~repro.sim.calqueue.CalendarQueue.pop_window`) into a
+  sorted ``base`` array,
+* swaps a :class:`_WindowQueue` façade into the kernel, so everything
+  scheduled *during* the drain takes one ``append`` (beyond-horizon:
+  the overwhelming majority — CS holds, think timers, WAN sends) or one
+  push into a tiny window heap (intra-window traffic), never touching
+  the global structure,
+* drains the two sources in exact ``(time, seq)`` merge order — one
+  comparison per event against the walked ``base`` array instead of a
+  full heap pop against the whole pending population,
+* and at the barrier bulk-returns the deferred entries to the global
+  queue.
+
+Because the drain order is *exactly* the global ``(time, seq)`` total
+order and every event keeps the key it was scheduled with, horizon
+execution is bit-identical to the plain kernel loop: RunDigests —
+which observe the run through trace subscribers — cannot tell the
+difference (pinned by ``tests/properties/test_horizon_equivalence.py``).
+
+Refusal matrix
+--------------
+Mirroring compiled promotion, the scheduler refuses to engage — one
+``logger.info`` line, then the caller falls back to ``Simulator.run`` —
+whenever the run carries machinery whose interaction with window
+extraction has not been equivalence-gated: crash controllers, fault
+injectors, per-flow FIFO, network send taps, a tie-seed salt, a
+delivery interceptor, or a latency model that cannot promise a positive
+lookahead (no ``min_delay`` method, jitter enabled, or fewer than two
+clusters).
+
+This module deliberately imports nothing from :mod:`repro.net` (the
+network imports the kernel; a back-edge would cycle): the network and
+latency model are duck-typed through the handful of attributes the
+refusal matrix and the window aliasing need.
+"""
+
+from __future__ import annotations
+
+import logging
+from heapq import heapify, heappop, heappush
+from math import nextafter
+from typing import Any, List, Optional, Tuple
+
+from .event import Event
+from .kernel import _COMPACT_MIN_CANCELLED, Simulator
+
+__all__ = ["LookaheadPlan", "derive_plan", "HorizonScheduler"]
+
+logger = logging.getLogger(__name__)
+
+_Entry = Tuple[float, int, Event]
+
+#: Deferred entries are returned to a list-heap via per-entry pushes
+#: (k·log N) unless the batch is large relative to the heap, where one
+#: extend+heapify (O(N+k)) wins.
+_HEAPIFY_RATIO = 8
+
+#: Adaptive sparse-window bailout: after this many windows the
+#: scheduler checks the observed event density ...
+_SPARSE_PROBE_WINDOWS = 64
+
+#: ... and hands the rest of the run to the plain kernel loop when the
+#: average window fired fewer events than this.  Window extraction and
+#: reconciliation cost a fixed overhead per window; below a handful of
+#: events per window that overhead exceeds what batch draining saves
+#: (measured on the 9-cluster Grid'5000 matrix: ~4 events per 1.57 ms
+#: window — see docs/performance.md).  Bailing out is digest-invisible:
+#: the serial loop *is* the reference order.
+_SPARSE_MIN_DENSITY = 8.0
+
+
+class LookaheadPlan:
+    """The per-run lookahead facts the scheduler needs.
+
+    ``cluster_of`` aliases the topology's dense node→cluster list (the
+    same object :class:`~repro.net.latency._TableLatency` shares — never
+    copied, never mutated); ``lookahead`` is the global conservative
+    window length: the minimum ``min_delay`` over distinct cluster
+    pairs.  ``pair_delay[i][j]`` keeps the full per-pair bound for
+    cluster partitioning (the parallel mode routes on it)."""
+
+    __slots__ = ("cluster_of", "n_clusters", "lookahead", "pair_delay")
+
+    def __init__(
+        self,
+        cluster_of: List[int],
+        n_clusters: int,
+        lookahead: float,
+        pair_delay: List[List[float]],
+    ) -> None:
+        self.cluster_of = cluster_of
+        self.n_clusters = n_clusters
+        self.lookahead = lookahead
+        self.pair_delay = pair_delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LookaheadPlan clusters={self.n_clusters} "
+            f"L={self.lookahead}ms>"
+        )
+
+
+def derive_plan(latency: Any, topology: Any) -> Optional[LookaheadPlan]:
+    """Derive the conservative window length for ``(latency, topology)``.
+
+    Returns ``None`` — after one ``logger.info`` line, mirroring the
+    block-table fall-off of the scale-out path — when no positive
+    lookahead exists:
+
+    * the model has no ``min_delay`` method (``ConstantLatency``, custom
+      models): nothing bounds its delays per cluster pair;
+    * fewer than two clusters: no inter-cluster structure to exploit;
+    * any pair's bound is zero (a jittered lognormal's infimum is 0).
+    """
+    min_delay = getattr(latency, "min_delay", None)
+    if min_delay is None:
+        logger.info(
+            "latency model %s has no min_delay(): horizon execution "
+            "falls back to serial (no conservative lookahead available)",
+            type(latency).__name__,
+        )
+        return None
+    n = int(topology.n_clusters)
+    if n < 2:
+        logger.info(
+            "topology has %d cluster(s): horizon execution falls back "
+            "to serial (lookahead needs inter-cluster structure)", n,
+        )
+        return None
+    pair_delay = [
+        [float(min_delay(i, j)) for j in range(n)] for i in range(n)
+    ]
+    lookahead = min(
+        pair_delay[i][j] for i in range(n) for j in range(n) if i != j
+    )
+    if lookahead <= 0.0:
+        logger.info(
+            "latency model %s reports a zero inter-cluster lookahead "
+            "(jitter enabled?): horizon execution falls back to serial",
+            type(latency).__name__,
+        )
+        return None
+    return LookaheadPlan(topology._cluster_of, n, lookahead, pair_delay)
+
+
+class _WindowQueue:
+    """The queue façade installed on the kernel during one window drain.
+
+    Everything scheduled while a window is open lands here: entries due
+    before the horizon go into the small ``extra`` heap (they must merge
+    into the drain), everything else is a plain ``deferred`` append.
+    The façade also carries the window's pre-extracted sorted ``base``
+    array plus the drain cursor, so kernel introspection — ``pending``
+    counts, ``_peek``, ``pending_events`` — stays exact mid-window.
+    """
+
+    __slots__ = ("horizon", "base", "idx", "extra", "deferred")
+
+    def __init__(self, horizon: float, base: List[_Entry]) -> None:
+        self.horizon = horizon
+        self.base = base
+        self.idx = 0
+        self.extra: List[_Entry] = []
+        self.deferred: List[_Entry] = []
+
+    # -- the push/pop protocol the kernel drives ------------------------ #
+    def push(self, entry: _Entry) -> None:
+        if entry[0] < self.horizon:
+            heappush(self.extra, entry)
+        else:
+            self.deferred.append(entry)
+
+    def pop(self) -> _Entry:
+        base = self.base
+        idx = self.idx
+        extra = self.extra
+        if idx < len(base):
+            head = base[idx]
+            if extra and extra[0] < head:
+                return heappop(extra)
+            self.idx = idx + 1
+            return head
+        if extra:
+            return heappop(extra)
+        raise IndexError("pop from a drained horizon window")
+
+    def head(self) -> Optional[_Entry]:
+        base = self.base
+        idx = self.idx
+        extra = self.extra
+        if idx < len(base):
+            head = base[idx]
+            if extra and extra[0] < head:
+                return extra[0]
+            return head
+        if extra:
+            return extra[0]
+        return None
+
+    # -- introspection the kernel may route here ------------------------ #
+    def __len__(self) -> int:
+        return len(self.base) - self.idx + len(self.extra) + len(self.deferred)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self):
+        yield from self.base[self.idx:]
+        yield from self.extra
+        yield from self.deferred
+
+    def compact(self) -> None:  # pragma: no cover - compaction is deferred
+        # The kernel never compacts mid-window (``_defer_compact``); the
+        # method exists so an explicit ``_compact()`` call cannot crash.
+        # Lists mutate in place: the drain loop holds aliases to them.
+        self.base[self.idx:] = [
+            e for e in self.base[self.idx:] if not e[2].cancelled
+        ]
+        self.extra[:] = [e for e in self.extra if not e[2].cancelled]
+        heapify(self.extra)
+        self.deferred[:] = [e for e in self.deferred if not e[2].cancelled]
+
+
+class HorizonScheduler:
+    """Windowed driver producing the exact serial event order.
+
+    Parameters
+    ----------
+    sim:
+        The kernel to drive.  Must not be mid-``run``.
+    net:
+        The transport (duck-typed).  Used for the refusal matrix and,
+        when it exposes ``enter_window``/``exit_window`` (the compiled
+        transport), for re-aiming its cached queue aliases at the
+        window façade.
+    plan:
+        A :class:`LookaheadPlan` from :func:`derive_plan`.
+    """
+
+    def __init__(self, sim: Simulator, net: Any, plan: LookaheadPlan) -> None:
+        self.sim = sim
+        self.net = net
+        self.plan = plan
+        self.windows = 0  # drained windows (telemetry/tests)
+
+    # ------------------------------------------------------------------ #
+    # refusal matrix
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def refusal(sim: Simulator, net: Any) -> Optional[str]:
+        """Why horizon execution must not engage, or ``None`` if it may.
+
+        The matrix mirrors compiled promotion: anything that makes
+        per-event global scheduling observable — or that has simply not
+        been equivalence-gated against window extraction — refuses.
+        """
+        if getattr(net, "crashes", None) is not None:
+            return "crash controller attached"
+        if getattr(net, "faults", None) is not None:
+            return "fault injector attached"
+        if getattr(net, "fifo", False):
+            return "per-flow FIFO enabled"
+        if getattr(net, "_send_taps", ()):
+            return "network send taps attached"
+        if getattr(net, "_intercept", None) is not None:
+            return "delivery interceptor installed"
+        if sim._tie_salt is not None:
+            return "tie-seed salt active"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, until: float) -> float:
+        """Drive the simulation to ``until`` in conservative windows.
+
+        Same contract as ``Simulator.run(until=...)``: events due at
+        exactly ``until`` fire, the clock advances to ``until`` when the
+        calendar drains or overshoots, and ``stop()`` freezes the clock
+        at the stopping event.
+        """
+        sim = self.sim
+        if sim._running:
+            raise RuntimeError("HorizonScheduler.run() during Simulator.run()")
+        sim._running = True
+        sim._stopped = False
+        lookahead = self.plan.lookahead
+        # Smallest float beyond `until`: entries due exactly at `until`
+        # are in-window (strict < cut), later ones are not.
+        limit = nextafter(until, float("inf"))
+        exhausted = False
+        sparse = False
+        fired0 = sim._fired
+        windows0 = self.windows
+        try:
+            while not sim._stopped:
+                head = sim._peek()
+                if head is None:
+                    exhausted = True
+                    break
+                t0 = head.time
+                if t0 > until:
+                    exhausted = True
+                    break
+                cut = t0 + lookahead
+                if cut > limit:
+                    cut = limit
+                elif cut <= t0:  # pragma: no cover - ulp-scale lookahead
+                    cut = nextafter(t0, float("inf"))
+                self._drain_window(cut)
+                if (
+                    self.windows - windows0 == _SPARSE_PROBE_WINDOWS
+                    and sim._fired - fired0
+                    < _SPARSE_MIN_DENSITY * _SPARSE_PROBE_WINDOWS
+                ):
+                    sparse = True
+                    break
+        finally:
+            sim._running = False
+        if sparse:
+            # Sparse windows: per-window overhead exceeds the batching
+            # win.  The serial loop is the reference order, so handing
+            # the remainder to it is digest-invisible.
+            logger.info(
+                "horizon windows too sparse (%.1f events/window over the "
+                "first %d): finishing the run serially",
+                (sim._fired - fired0) / _SPARSE_PROBE_WINDOWS,
+                _SPARSE_PROBE_WINDOWS,
+            )
+            return sim.run(until=until)
+        if exhausted and sim._now < until:
+            sim._now = until
+        return sim._now
+
+    def drain_before(self, t_end: float) -> None:
+        """Drain every event due strictly before ``t_end`` (one window).
+
+        The cluster-parallel worker's entry point: its inter-window
+        barrier already guarantees nothing new can arrive before
+        ``t_end``, so the whole span is one conservative window."""
+        sim = self.sim
+        if sim._running:
+            raise RuntimeError("drain_before() during Simulator.run()")
+        sim._running = True
+        try:
+            head = sim._peek()
+            if head is not None and head.time < t_end:
+                self._drain_window(t_end)
+        finally:
+            sim._running = False
+
+    # ------------------------------------------------------------------ #
+    def _drain_window(self, cut: float) -> None:
+        """Extract, drain and reconcile one window ``[now, cut)``."""
+        sim = self.sim
+        heap = sim._heap
+        # -- extraction ------------------------------------------------- #
+        if type(heap) is list:
+            base: List[_Entry] = []
+            append = base.append
+            while heap and heap[0][0] < cut:
+                append(heappop(heap))
+        else:
+            base = heap.pop_window(cut)
+        wq = _WindowQueue(cut, base)
+        saved = (sim._heap, sim._pushf, sim._popf)
+        sim._heap = wq  # type: ignore[assignment]
+        # Unbound methods match the kernel's ``pushf(queue, entry)`` /
+        # ``popf(queue)`` protocol, exactly like ``CalendarQueue.push``.
+        sim._pushf = _WindowQueue.push  # type: ignore[assignment]
+        sim._popf = _WindowQueue.pop  # type: ignore[assignment]
+        sim._defer_compact = True
+        net = self.net
+        enter = getattr(net, "enter_window", None)
+        if enter is not None:
+            enter(wq)
+        try:
+            self._drain(wq)
+        finally:
+            # -- barrier ------------------------------------------------ #
+            sim._heap, sim._pushf, sim._popf = saved
+            sim._defer_compact = False
+            if enter is not None:
+                net.exit_window()
+            leftovers = wq.deferred
+            # A stop() mid-window leaves live entries in the window
+            # sources; they must survive into the global queue.
+            if wq.idx < len(wq.base) or wq.extra:
+                leftovers = wq.base[wq.idx:] + wq.extra + leftovers
+            heap = sim._heap
+            if type(heap) is list:
+                if len(leftovers) * _HEAPIFY_RATIO >= len(heap) + 1:
+                    heap.extend(leftovers)
+                    heapify(heap)
+                else:
+                    for entry in leftovers:
+                        heappush(heap, entry)
+            else:
+                heap.push_many(leftovers)
+            # Re-check the compaction the window may have suppressed.
+            if (
+                sim._cancelled > _COMPACT_MIN_CANCELLED
+                and sim._cancelled * 2 > len(heap)
+            ):
+                sim._compact()
+            self.windows += 1
+
+    def _drain(self, wq: _WindowQueue) -> None:
+        """Fire the window's events in exact ``(time, seq)`` order.
+
+        The hot loop: one comparison decides between the walked ``base``
+        array and the tiny ``extra`` heap; firing inlines the kernel's
+        ``step`` body (tombstone skip, clock advance, trace gate)."""
+        sim = self.sim
+        base = wq.base
+        n_base = len(base)
+        extra = wq.extra
+        trace = sim.trace
+        fired = sim._fired
+        cancelled_delta = 0
+        try:
+            while not sim._stopped:
+                idx = wq.idx
+                if idx < n_base:
+                    entry = base[idx]
+                    if extra and extra[0] < entry:
+                        entry = heappop(extra)
+                    else:
+                        wq.idx = idx + 1
+                elif extra:
+                    entry = heappop(extra)
+                else:
+                    break
+                event = entry[2]
+                if event.cancelled:
+                    cancelled_delta += 1
+                    continue
+                sim._now = event.time
+                event.cancelled = True
+                fired += 1
+                if trace.event_active:
+                    trace.emit("event", time=event.time, label=event.label)
+                event.callback(*event.args)
+        finally:
+            sim._fired = fired
+            sim._cancelled -= cancelled_delta

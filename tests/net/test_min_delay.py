@@ -1,0 +1,102 @@
+"""``LatencyModel.min_delay`` and the lookahead-plan fall-offs.
+
+The horizon scheduler's conservative window length comes from
+``min_delay(src_cluster, dst_cluster)`` — a hard lower bound on any
+delivery between the two clusters.  These tests pin the positive cases
+(jitter-free table models return the exact table entry) and, more
+importantly, the negative ones: every configuration that cannot promise
+a positive lookahead must make :func:`repro.sim.derive_plan` return
+``None`` with exactly one ``logger.info`` line — the serial fall-back
+contract that mirrors the scale-out block-table fall-off.
+"""
+
+import logging
+
+import pytest
+
+from repro.net import uniform_topology
+from repro.net.latency import (
+    LOCAL_DELIVERY_MS,
+    ConstantLatency,
+    MatrixLatency,
+    TwoTierLatency,
+)
+from repro.sim import derive_plan
+
+HORIZON_LOGGER = "repro.sim.horizon"
+
+
+@pytest.fixture
+def topo():
+    return uniform_topology(3, 4)
+
+
+# --------------------------------------------------------------------- #
+# positive cases: jitter-free table models give exact bounds
+# --------------------------------------------------------------------- #
+def test_two_tier_min_delay_exact(topo):
+    lat = TwoTierLatency(topo, lan_ms=0.5, wan_ms=10.0, jitter=0.0)
+    assert lat.min_delay(0, 1) == 10.0
+    assert lat.min_delay(2, 0) == 10.0
+    # Same cluster: the local self-send floor can undercut the LAN entry.
+    assert lat.min_delay(1, 1) == min(0.5, LOCAL_DELIVERY_MS)
+
+
+def test_matrix_min_delay_is_one_way(topo):
+    rtt = [[1.0, 4.0, 6.0], [4.0, 1.0, 8.0], [6.0, 8.0, 1.0]]
+    lat = MatrixLatency(topo, rtt, jitter=0.0)
+    assert lat.min_delay(0, 1) == 2.0  # one-way = rtt/2
+    assert lat.min_delay(1, 2) == 4.0
+
+
+def test_two_tier_plan_lookahead_is_min_offdiagonal(topo):
+    lat = TwoTierLatency(topo, lan_ms=0.5, wan_ms=10.0, jitter=0.0)
+    plan = derive_plan(lat, topo)
+    assert plan is not None
+    assert plan.lookahead == 10.0
+    assert plan.n_clusters == 3
+    assert plan.cluster_of is topo._cluster_of  # aliased, never copied
+
+
+# --------------------------------------------------------------------- #
+# negative cases: each one info log, then serial fall-back (plan = None)
+# --------------------------------------------------------------------- #
+def _assert_one_info_fallback(caplog, latency, topology):
+    with caplog.at_level(logging.INFO, logger=HORIZON_LOGGER):
+        plan = derive_plan(latency, topology)
+    assert plan is None
+    records = [r for r in caplog.records if r.name == HORIZON_LOGGER]
+    assert len(records) == 1, "exactly one info line explains the fall-back"
+    assert "serial" in records[0].getMessage()
+    return records[0].getMessage()
+
+
+def test_constant_latency_has_no_min_delay(topo, caplog):
+    lat = ConstantLatency(delay_ms=5.0)
+    assert not hasattr(lat, "min_delay")
+    msg = _assert_one_info_fallback(caplog, lat, topo)
+    assert "min_delay" in msg
+
+
+def test_custom_model_without_method_falls_back(topo, caplog):
+    class HomegrownLatency:
+        def one_way(self, src, dst, rng):
+            return 1.0
+
+    msg = _assert_one_info_fallback(caplog, HomegrownLatency(), topo)
+    assert "HomegrownLatency" in msg
+
+
+def test_jittered_lognormal_lower_bound_is_zero(topo, caplog):
+    lat = TwoTierLatency(topo, lan_ms=0.5, wan_ms=10.0, jitter=0.1)
+    # A lognormal factor's infimum is 0: no positive bound exists.
+    assert lat.min_delay(0, 1) == 0.0
+    msg = _assert_one_info_fallback(caplog, lat, topo)
+    assert "zero" in msg
+
+
+def test_single_cluster_has_no_inter_cluster_structure(caplog):
+    one = uniform_topology(1, 4)
+    lat = TwoTierLatency(one, lan_ms=0.5, wan_ms=10.0, jitter=0.0)
+    msg = _assert_one_info_fallback(caplog, lat, one)
+    assert "cluster" in msg

@@ -1,0 +1,203 @@
+"""Calendar-queue edge cases under horizon draining.
+
+``pop_window``/``push_many`` are the horizon scheduler's bulk paths:
+whole buckets are stolen below the cut, the boundary bucket is drained
+selectively, and barrier leftovers re-enter via a heapify-per-touched-
+bucket bulk insert.  These tests pin the edges that a per-entry
+``pop``/``push`` loop would never exercise: cuts landing exactly on
+bucket boundaries, tombstones travelling through a window, and the
+exact heap-order contract on randomized interleavings of all four
+operations — plus the kernel-level property that a horizon-driven run
+fires the identical order on both queue implementations.
+"""
+
+import heapq
+import random
+from types import SimpleNamespace
+
+from repro.sim import CalendarQueue, HorizonScheduler, LookaheadPlan, Simulator
+from repro.sim.event import Event
+
+
+def _entry(time: float, seq: int) -> tuple:
+    return (time, seq, Event(time, seq, lambda: None, ()))
+
+
+def _fill(entries):
+    heap: list = []
+    cal = CalendarQueue()
+    for e in entries:
+        heapq.heappush(heap, e)
+        cal.push(e)
+    return heap, cal
+
+
+def _heap_window(heap, cut):
+    out = []
+    while heap and heap[0][0] < cut:
+        out.append(heapq.heappop(heap))
+    return out
+
+
+class TestPopWindow:
+    def test_cut_exactly_on_bucket_boundary(self):
+        # width 1.0: bucket b holds [b, b+1).  A cut at exactly 3.0 must
+        # take buckets 0-2 whole and nothing from bucket 3 — including
+        # an entry due at exactly 3.0 (strict <).
+        entries = [_entry(t, s) for s, t in enumerate(
+            (0.5, 1.0, 1.5, 2.999999, 3.0, 3.5, 4.0))]
+        heap, cal = _fill(entries)
+        expected = _heap_window(heap, 3.0)
+        got = cal.pop_window(3.0)
+        assert got == expected
+        assert all(e[0] >= 3.0 for e in cal)
+        assert len(cal) == len(heap)
+
+    def test_cut_mid_bucket_drains_boundary_selectively(self):
+        entries = [_entry(t, s) for s, t in enumerate(
+            (2.1, 2.4, 2.5, 2.6, 2.9))]
+        heap, cal = _fill(entries)
+        got = cal.pop_window(2.5)
+        assert got == _heap_window(heap, 2.5)
+        # 2.5, 2.6, 2.9 stay in the (still live) boundary bucket.
+        assert sorted(e[0] for e in cal) == [2.5, 2.6, 2.9]
+        assert cal.pop()[0] == 2.5
+
+    def test_rollover_across_many_buckets(self):
+        rng = random.Random(7)
+        entries = [_entry(rng.uniform(0.0, 40.0), s) for s in range(400)]
+        # Ties sharing one bucket must come back seq-ordered too.
+        entries += [_entry(13.0, s) for s in range(400, 420)]
+        heap, cal = _fill(entries)
+        for cut in (5.0, 13.0, 13.0, 25.5, 41.0):
+            assert cal.pop_window(cut) == _heap_window(heap, cut)
+        assert len(cal) == 0
+
+    def test_window_includes_tombstones_for_the_drain_to_skip(self):
+        entries = [_entry(t, s) for s, t in enumerate((1.0, 1.5, 2.0))]
+        entries[1][2].cancelled = True
+        _heap, cal = _fill(entries)
+        got = cal.pop_window(5.0)
+        assert [e[0] for e in got] == [1.0, 1.5, 2.0]
+        assert got[1][2].cancelled
+
+
+class TestPushMany:
+    def test_bulk_insert_preserves_exact_order(self):
+        rng = random.Random(21)
+        base = [_entry(rng.uniform(0.0, 20.0), s) for s in range(100)]
+        heap, cal = _fill(base)
+        extra = [_entry(rng.uniform(0.0, 30.0), 100 + s) for s in range(250)]
+        cal.push_many(extra)
+        for e in extra:
+            heapq.heappush(heap, e)
+        expected = [heapq.heappop(heap) for _ in range(len(heap))]
+        got = [cal.pop() for _ in range(len(cal))]
+        assert got == expected
+
+    def test_push_many_into_empty_and_existing_buckets(self):
+        _heap, cal = _fill([_entry(0.5, 0)])
+        cal.push_many([_entry(0.2, 1), _entry(5.5, 2), _entry(5.1, 3)])
+        assert [cal.pop()[0] for _ in range(4)] == [0.2, 0.5, 5.1, 5.5]
+
+    def test_push_many_empty_list_is_noop(self):
+        _heap, cal = _fill([_entry(1.0, 0)])
+        cal.push_many([])
+        assert len(cal) == 1
+
+
+class TestTombstoneCompaction:
+    def test_compact_after_mid_window_cancellations(self):
+        # A window drain leaves cancelled leftovers; the deferred
+        # compaction at the barrier must drop exactly those.
+        entries = [_entry(float(t), t) for t in range(50)]
+        _heap, cal = _fill(entries)
+        cal.pop_window(10.0)
+        for e in entries[10:30]:
+            e[2].cancelled = True
+        cal.compact()
+        assert len(cal) == 20
+        assert [cal.pop()[1] for _ in range(20)] == list(range(30, 50))
+
+
+class TestRandomizedInterleaving:
+    def test_mixed_operations_match_reference_heap(self):
+        rng = random.Random(1234)
+        heap: list = []
+        cal = CalendarQueue()
+        seq = 0
+        now = 0.0
+        for _ in range(300):
+            op = rng.random()
+            if op < 0.45:
+                batch = [
+                    _entry(now + rng.uniform(0.0, 15.0), seq + i)
+                    for i in range(rng.randrange(1, 6))
+                ]
+                seq += len(batch)
+                if rng.random() < 0.5:
+                    cal.push_many(batch)
+                else:
+                    for e in batch:
+                        cal.push(e)
+                for e in batch:
+                    heapq.heappush(heap, e)
+            elif op < 0.75:
+                cut = now + rng.uniform(0.0, 4.0)
+                got = cal.pop_window(cut)
+                assert got == _heap_window(heap, cut)
+                if got:
+                    now = max(now, got[-1][0])
+            elif heap:
+                assert cal.pop() == heapq.heappop(heap)
+                assert cal.head() == (heap[0] if heap else None)
+        assert sorted(cal) == sorted(heap)
+
+
+# --------------------------------------------------------------------- #
+# kernel-level: horizon draining fires identically on both queues
+# --------------------------------------------------------------------- #
+def _random_workload(sim: Simulator, fired: list, seed: int) -> None:
+    """Self-expanding random timer web: each firing schedules 0-2 more
+    events and occasionally cancels a pending one (tombstones must
+    travel through windows on both queue implementations)."""
+    rng = random.Random(seed)
+    pending = []
+    state = {"budget": 600}
+
+    def tick(tag: int) -> None:
+        fired.append((sim.now, tag))
+        if state["budget"] <= 0:
+            return
+        for _ in range(rng.randrange(0, 3)):
+            state["budget"] -= 1
+            tag2 = state["budget"]
+            pending.append(sim.schedule(rng.uniform(0.1, 12.0), tick, tag2))
+        if pending and rng.random() < 0.2:
+            pending.pop(rng.randrange(len(pending))).cancel()
+
+    for i in range(8):
+        sim.schedule(rng.uniform(0.0, 3.0), tick, -i)
+
+
+def _run_horizon(queue: str, seed: int) -> list:
+    sim = Simulator(seed=0, queue=queue)
+    fired: list = []
+    _random_workload(sim, fired, seed)
+    plan = LookaheadPlan(cluster_of=[0, 1], n_clusters=2,
+                         lookahead=3.7, pair_delay=[[0.0, 3.7], [3.7, 0.0]])
+    HorizonScheduler(sim, SimpleNamespace(), plan).run(until=10_000.0)
+    return fired
+
+
+def test_horizon_pop_order_equal_on_heap_and_calendar():
+    for seed in (5, 99, 2024):
+        serial_sim = Simulator(seed=0)
+        serial_fired: list = []
+        _random_workload(serial_sim, serial_fired, seed)
+        serial_sim.run(until=10_000.0)
+
+        heap_fired = _run_horizon("heap", seed)
+        cal_fired = _run_horizon("calendar", seed)
+        assert heap_fired == serial_fired
+        assert cal_fired == serial_fired
